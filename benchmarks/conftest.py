@@ -1,0 +1,36 @@
+"""Shared infrastructure for the figure/table reproduction benches.
+
+Every bench:
+
+* builds the scaled-down analogue of the paper's experiment (structure
+  identical, process/op counts shrunk so a bench finishes in seconds),
+* runs it under ``benchmark.pedantic(rounds=1)`` — the simulation is
+  deterministic, so repeated rounds only re-measure wall clock,
+* prints the same rows/series the paper reports next to the paper's quoted
+  values, and
+* asserts the *shape*: who wins, roughly by how much, where curves bend.
+
+Scale factors relative to the paper are listed in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+SEPARATOR = "\n" + "=" * 72
+
+
+def emit(text: str) -> None:
+    """Print a bench report block (shown with pytest -s / in captured out)."""
+    print(SEPARATOR)
+    print(text)
+
+
+@pytest.fixture
+def report():
+    return emit
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,133 @@
+"""Figure 7 — real workloads, weak-scaled 8 -> 64 nodes in the paper.
+
+(a) **ISx** — BCL 686 s at 64 nodes vs HCL 57 s (12x); BCL scales
+    linearly in cost, HCL sub-linearly (the priority queue sorts data as
+    it arrives, hiding the sort behind communication).
+(b) **Meraculous contig generation** — HCL 1.8x faster at the smallest
+    scale to 12x at the largest.
+(c) **Meraculous k-mer counting** — HCL 2.17x to 8x faster.
+
+Scaled: nodes 2 -> 8 with 3 procs/node, weak-scaled inputs (keys/reads
+grow with nodes).  All runs *verify their outputs* (sortedness, exact
+histogram, genome-substring contigs) before timing is reported.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import (
+    run_contig_generation,
+    run_isx,
+    run_kmer_counting,
+    synthesize_genome,
+)
+from repro.config import ares_like
+from repro.harness import render_series
+
+NODE_SWEEP = [2, 4, 8]
+PROCS = 3
+KEYS_PER_RANK = 48  # ISx weak scaling: total keys grow with nodes
+
+
+def _spec(nodes):
+    return ares_like(nodes=nodes, procs_per_node=PROCS)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7a_isx(benchmark, report):
+    def run():
+        hcl_t, bcl_t = [], []
+        for nodes in NODE_SWEEP:
+            h = run_isx("hcl", _spec(nodes), keys_per_rank=KEYS_PER_RANK)
+            b = run_isx("bcl", _spec(nodes), keys_per_rank=KEYS_PER_RANK)
+            assert h.verified and b.verified
+            hcl_t.append(h.time_seconds)
+            bcl_t.append(b.time_seconds)
+        return hcl_t, bcl_t
+
+    hcl_t, bcl_t = run_once(benchmark, run)
+    ratios = [b / h for h, b in zip(hcl_t, bcl_t)]
+    report(render_series(
+        "Fig 7a — ISx time (s), weak scaling "
+        "(paper at 64 nodes: BCL 686 s vs HCL 57 s = 12x)",
+        "nodes", NODE_SWEEP,
+        {"bcl (s)": bcl_t, "hcl (s)": hcl_t, "speedup": ratios},
+        y_format=lambda v: f"{v:.4g}",
+    ))
+    # HCL wins at every scale; gap in the paper's order of magnitude.
+    assert all(r > 2.0 for r in ratios), ratios
+    assert ratios[-1] > 5.0, f"largest-scale speedup {ratios[-1]:.1f}x"
+    # HCL scales sub-linearly (paper: ~1.4x per node doubling): time must
+    # grow by less than the 4x node-count growth across the sweep.
+    assert hcl_t[-1] / hcl_t[0] < NODE_SWEEP[-1] / NODE_SWEEP[0]
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7b_contig_generation(benchmark, report):
+    def run():
+        hcl_t, bcl_t = [], []
+        for nodes in NODE_SWEEP:
+            # Weak scaling: genome and reads grow together with the node
+            # count so coverage (and thus contig length) stays constant.
+            data = synthesize_genome(
+                genome_length=300 * nodes,
+                num_reads=24 * nodes,
+                read_length=60,
+                k=15,
+                seed=nodes,
+            )
+            h = run_contig_generation("hcl", _spec(nodes), data)
+            b = run_contig_generation("bcl", _spec(nodes), data)
+            assert h.verified and b.verified
+            assert h.contigs == b.contigs  # identical output either way
+            hcl_t.append(h.time_seconds)
+            bcl_t.append(b.time_seconds)
+        return hcl_t, bcl_t
+
+    hcl_t, bcl_t = run_once(benchmark, run)
+    ratios = [b / h for h, b in zip(hcl_t, bcl_t)]
+    report(render_series(
+        "Fig 7b — contig generation time (s), weak scaling "
+        "(paper: HCL 1.8x faster at 8 nodes to 12x at 64)",
+        "nodes", NODE_SWEEP,
+        {"bcl (s)": bcl_t, "hcl (s)": hcl_t, "speedup": ratios},
+        y_format=lambda v: f"{v:.4g}",
+    ))
+    # HCL wins clearly at every scale.  (Paper's gap *grows* 1.8x -> 12x
+    # with node count; ours stays in the 1.4-2.2x band — the simulated
+    # fabric doesn't reproduce the congestion collapse BCL suffered at 64
+    # real nodes.  Recorded as a deviation in EXPERIMENTS.md.)
+    assert all(r > 1.25 for r in ratios), ratios
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7c_kmer_counting(benchmark, report):
+    def run():
+        hcl_t, bcl_t = [], []
+        for nodes in NODE_SWEEP:
+            data = synthesize_genome(
+                genome_length=400 + 120 * nodes,
+                num_reads=20 * nodes,
+                read_length=50,
+                k=13,
+                seed=nodes + 10,
+            )
+            h = run_kmer_counting("hcl", _spec(nodes), data)
+            b = run_kmer_counting("bcl", _spec(nodes), data)
+            assert h.verified and b.verified
+            hcl_t.append(h.time_seconds)
+            bcl_t.append(b.time_seconds)
+        return hcl_t, bcl_t
+
+    hcl_t, bcl_t = run_once(benchmark, run)
+    ratios = [b / h for h, b in zip(hcl_t, bcl_t)]
+    report(render_series(
+        "Fig 7c — k-mer counting time (s), weak scaling "
+        "(paper: HCL 2.17x to 8x faster)",
+        "nodes", NODE_SWEEP,
+        {"bcl (s)": bcl_t, "hcl (s)": hcl_t, "speedup": ratios},
+        y_format=lambda v: f"{v:.4g}",
+    ))
+    assert all(r > 1.5 for r in ratios), ratios

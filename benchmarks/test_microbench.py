@@ -1,0 +1,46 @@
+"""Fabric microbenchmarks — the calibration evidence behind every figure.
+
+Not a paper figure, but the paper's Section IV quotes two microbenchmark
+anchors for its testbed (OSU ~4.5 GB/s between nodes, STREAM ~65 GB/s per
+node).  This bench measures the same quantities from inside the simulation
+for each OFI provider, so the calibration shows up in every benchmark run's
+output next to the figures it underpins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.config import ares_like
+from repro.harness import render_table
+from repro.harness.microbench import run_microbench
+
+
+@pytest.mark.benchmark(group="microbench")
+def test_fabric_microbenchmarks(benchmark, report):
+    def run():
+        spec = ares_like(nodes=2, procs_per_node=4)
+        return {p: run_microbench(spec, provider=p)
+                for p in ("roce", "verbs", "tcp")}
+
+    reports = run_once(benchmark, run)
+    metrics = [row[0] for row in reports["roce"].rows()]
+    rows = []
+    for i, metric in enumerate(metrics):
+        rows.append([metric] + [reports[p].rows()[i][1]
+                                for p in ("roce", "verbs", "tcp")])
+    report(render_table(
+        "Fabric microbenchmarks by provider "
+        "(paper anchors: OSU ~4.5 GB/s, STREAM ~65 GB/s)",
+        ["metric", "roce", "verbs", "tcp"], rows,
+    ))
+
+    roce = reports["roce"]
+    # Paper anchors.
+    assert 55.0 < roce.stream_gbs < 70.0
+    assert 3.2 < roce.bandwidth_gbs < 4.7
+    # Provider ordering.
+    assert reports["verbs"].bandwidth_gbs > roce.bandwidth_gbs
+    assert reports["tcp"].bandwidth_gbs < roce.bandwidth_gbs
+    assert reports["tcp"].rpc_null_latency_us > roce.rpc_null_latency_us

@@ -1,0 +1,185 @@
+"""Table I — operation cost validation for all six containers.
+
+The paper states each operation's worst-case cost in the symbols F (remote
+invocation), L (local memory op), R/W (local read/write), N (entries),
+E (batch size).  We run every container, measure the per-operation symbol
+counts recorded by the cost ledger, and check them against the formulas:
+
+==================  ======================  ===========================
+container           insert/push             find/pop
+==================  ======================  ===========================
+unordered_map/set   F + L + W               F + L + R
+map/set (ordered)   F + L*log(N) + W        F + L*log(N) + R
+queue               F + L + W  (E*W vec.)   F + L + R  (E*R vectorized)
+priority_queue      F + L*log(N) + W        F + L + R
+==================  ======================  ===========================
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.config import ares_like
+from repro.core import HCL
+from repro.harness import render_table
+
+ENTRIES = 512
+
+
+def _runtime():
+    return HCL(ares_like(nodes=2, procs_per_node=4))
+
+
+def _ledger_rows(container, ops):
+    return {op: container.ledger.per_op(op) for op in ops}
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_operation_costs(benchmark, report):
+    def run():
+        results = {}
+
+        # --- unordered map / set -------------------------------------
+        hcl = _runtime()
+        um = hcl.unordered_map("um", partitions=1, nodes=[1],
+                               initial_buckets=4 * ENTRIES)
+        us = hcl.unordered_set("us", partitions=1, nodes=[1],
+                               initial_buckets=4 * ENTRIES)
+
+        def body(rank):
+            for i in range(ENTRIES // 4):
+                key = rank * 10_000 + i
+                yield from um.insert(rank, key, key)
+                yield from us.insert(rank, key)
+            for i in range(ENTRIES // 4):
+                key = rank * 10_000 + i
+                yield from um.find(rank, key)
+                yield from us.find(rank, key)
+
+        hcl.run_ranks(body, ranks=range(4))
+        results["unordered_map"] = _ledger_rows(um, ("insert", "find"))
+        results["unordered_set"] = _ledger_rows(us, ("insert", "find"))
+
+        # --- ordered map / set ----------------------------------------
+        hcl = _runtime()
+        om = hcl.map("om", partitions=1, nodes=[1],
+                     partitioner=lambda k, n: 0)
+        os_ = hcl.set("os", partitions=1, nodes=[1],
+                      partitioner=lambda k, n: 0)
+
+        def obody(rank):
+            for i in range(ENTRIES // 4):
+                key = rank * 10_000 + i
+                yield from om.insert(rank, key, key)
+                yield from os_.insert(rank, key)
+            for i in range(ENTRIES // 4):
+                key = rank * 10_000 + i
+                yield from om.find(rank, key)
+                yield from os_.find(rank, key)
+
+        hcl.run_ranks(obody, ranks=range(4))
+        results["map"] = _ledger_rows(om, ("insert", "find"))
+        results["set"] = _ledger_rows(os_, ("insert", "find"))
+
+        # --- queues -------------------------------------------------------
+        hcl = _runtime()
+        q = hcl.queue("q", home_node=1)
+        pq = hcl.priority_queue("pq", home_node=1, dims=8, base=16)
+
+        def qbody(rank):
+            for i in range(ENTRIES // 8):
+                yield from q.push(rank, i)
+                yield from pq.push(rank, rank * 10_000 + i, i)
+            for _ in range(ENTRIES // 8):
+                yield from q.pop(rank)
+                yield from pq.pop(rank)
+
+        hcl.run_ranks(qbody, ranks=range(4))
+        results["queue"] = _ledger_rows(q, ("push", "pop"))
+        results["priority_queue"] = _ledger_rows(pq, ("push", "pop"))
+        return results
+
+    results = run_once(benchmark, run)
+
+    rows = []
+    for container, ops in results.items():
+        for op, row in ops.items():
+            rows.append([
+                container, op, int(row["count"]),
+                round(row["F"], 2), round(row["L"], 2),
+                round(row["R"], 2), round(row["W"], 2),
+            ])
+    report(render_table(
+        "Table I — measured per-op symbol counts (F=remote invocation)",
+        ["container", "op", "n", "F/op", "L/op", "R/op", "W/op"], rows,
+    ))
+
+    log_n = math.log2(ENTRIES)
+
+    # Every operation compiles to at most ONE remote invocation.
+    for container, ops in results.items():
+        for op, row in ops.items():
+            assert row["F"] <= 1.0, f"{container}.{op}: F={row['F']}"
+
+    # Hash containers: constant L (two-level hashing, <= a few probes).
+    for name in ("unordered_map", "unordered_set"):
+        assert results[name]["insert"]["L"] < 8
+        assert results[name]["find"]["L"] <= 3
+        assert results[name]["insert"]["W"] >= 1
+        assert results[name]["find"]["R"] >= 1
+        assert results[name]["find"]["W"] == 0
+
+    # Ordered containers: L grows with log N, stays far below N.
+    for name in ("map", "set"):
+        assert 0.5 * log_n <= results[name]["insert"]["L"] <= 4 * log_n
+        assert 0.5 * log_n <= results[name]["find"]["L"] <= 4 * log_n
+        assert results[name]["find"]["W"] == 0
+
+    # FIFO queue: constant-time push and pop.
+    assert results["queue"]["push"]["L"] <= 4
+    assert results["queue"]["pop"]["L"] <= 4
+    assert results["queue"]["push"]["W"] >= 1
+    assert results["queue"]["pop"]["R"] >= 1
+
+    # Priority queue: push pays the log-like MDList descent, pop is cheap
+    # (first unmarked node) — the Table I asymmetry.
+    assert results["priority_queue"]["push"]["L"] > results["queue"]["push"]["L"]
+    assert results["priority_queue"]["push"]["L"] <= 8 * 16 + 8
+    assert results["priority_queue"]["pop"]["R"] >= 1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_vector_ops_amortize_invocations(benchmark, report):
+    """Vector push/pop: F + L + E*W — one invocation for E elements."""
+
+    def run():
+        hcl = _runtime()
+        q = hcl.queue("q", home_node=1)
+        E = 32
+
+        def body(rank):
+            yield from q.push_many(rank, list(range(E)))
+            yield from q.pop_many(rank, E)
+
+        hcl.run_ranks(body, ranks=range(4))
+        return {
+            "push_many": q.ledger.per_op("push_many"),
+            "pop_many": q.ledger.per_op("pop_many"),
+        }, E
+
+    rows, E = run_once(benchmark, run)
+    report(render_table(
+        "Table I — vectorized queue ops (E=%d)" % E,
+        ["op", "F/call", "W/call", "R/call"],
+        [["push_many", rows["push_many"]["F"], rows["push_many"]["W"],
+          rows["push_many"]["R"]],
+         ["pop_many", rows["pop_many"]["F"], rows["pop_many"]["W"],
+          rows["pop_many"]["R"]]],
+    ))
+    assert rows["push_many"]["F"] <= 1.0
+    assert rows["push_many"]["W"] >= E  # E writes in ONE call
+    assert rows["pop_many"]["F"] <= 1.0
+    assert rows["pop_many"]["R"] >= E

@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""ISx distributed integer sort: priority queues hide the sort (Fig 7a).
+
+Run:  python examples/distributed_sort.py
+
+Weak-scales the ISx bucket sort across 2 -> 8 simulated nodes for both
+backends.  The HCL version pushes keys into one ``HCL::priority_queue``
+per node, so the data is *already sorted on arrival* and the sort cost
+hides behind communication; the BCL version pushes into circular queues
+and pays an explicit O(n log n) local sort afterwards.
+"""
+
+from repro.apps import run_isx
+from repro.config import ares_like
+
+
+def main():
+    print(f"{'nodes':>5} {'keys':>7} {'BCL (s)':>12} {'HCL (s)':>12} "
+          f"{'speedup':>8}  verified")
+    for nodes in (2, 4, 8):
+        spec = ares_like(nodes=nodes, procs_per_node=4, seed=5)
+        hcl = run_isx("hcl", spec, keys_per_rank=64)
+        bcl = run_isx("bcl", spec, keys_per_rank=64)
+        assert hcl.verified and bcl.verified
+        print(f"{nodes:>5} {hcl.total_keys:>7} "
+              f"{bcl.time_seconds:>12.6f} {hcl.time_seconds:>12.6f} "
+              f"{bcl.time_seconds / hcl.time_seconds:>7.1f}x  "
+              f"{hcl.verified and bcl.verified}")
+    print("\npaper (8 -> 64 nodes): BCL scales linearly to 686 s, "
+          "HCL sub-linearly to 57 s (12x)")
+
+
+if __name__ == "__main__":
+    main()

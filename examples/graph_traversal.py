@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Distributed BFS over HCL containers — the irregular-app archetype.
+
+Run:  python examples/graph_traversal.py
+
+Builds a random graph, distributes its adjacency lists into an
+``HCL::unordered_map`` (batched loads, one invocation per partition), and
+runs a level-synchronous BFS where every rank expands a slice of the
+frontier and levels synchronize through the collectives layer.  Distances
+are verified against networkx, and the same traversal runs on the BCL
+baseline for comparison.
+"""
+
+from repro.apps import make_graph, run_bfs
+from repro.config import ares_like
+
+
+def main():
+    spec = ares_like(nodes=4, procs_per_node=4, seed=2)
+    graph = make_graph(vertices=300, avg_degree=4.0, seed=7)
+    print(f"graph: {graph.number_of_nodes()} vertices, "
+          f"{graph.number_of_edges()} edges; {spec.total_procs} ranks")
+
+    h = run_bfs("hcl", spec, graph)
+    b = run_bfs("bcl", spec, graph)
+    assert h.verified and b.verified, "distances must match networkx"
+    assert h.reached == b.reached
+
+    print(f"\nBFS reached {h.reached} vertices in {h.levels} levels "
+          "(distances verified against networkx)")
+    print(f"HCL {h.time_seconds * 1e3:8.3f} ms   "
+          f"BCL {b.time_seconds * 1e3:8.3f} ms   "
+          f"speedup {b.time_seconds / h.time_seconds:.2f}x")
+    print("\nHCL wins through batched adjacency/distance lookups (one "
+          "invocation per partition per level) and server-side conditional "
+          "inserts; BCL pays CAS-locked client-side updates per neighbor.")
+
+
+if __name__ == "__main__":
+    main()

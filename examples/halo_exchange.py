@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""MPI-style 1-D stencil with halo exchange over the simulated fabric.
+
+Run:  python examples/halo_exchange.py
+
+Shows the point-to-point layer (``repro.core.p2p.Comm``) and collectives
+working together like an mpi4py program: each rank owns a slice of a 1-D
+field and iterates a 3-point averaging stencil, exchanging one-cell halos
+with its neighbours each step.  Co-located neighbours exchange through
+shared memory (the hybrid model); node-boundary neighbours cross the
+simulated RoCE fabric.  The result is verified against a single-process
+reference computation.
+"""
+
+import numpy as np
+
+from repro.config import ares_like
+from repro.core import HCL, Collectives, Comm
+
+
+def reference(field: np.ndarray, steps: int) -> np.ndarray:
+    out = field.astype(np.float64).copy()
+    for _ in range(steps):
+        nxt = out.copy()
+        nxt[1:-1] = (out[:-2] + out[1:-1] + out[2:]) / 3.0
+        out = nxt
+    return out
+
+
+def main():
+    spec = ares_like(nodes=2, procs_per_node=4, seed=3)
+    hcl = HCL(spec)
+    comm = Comm(hcl)
+    coll = Collectives(hcl)
+    n_ranks = spec.total_procs
+    cells_per_rank = 32
+    total = n_ranks * cells_per_rank
+    rng = np.random.default_rng(3)
+    field = rng.random(total)
+    steps = 10
+    slices = {}
+
+    def body(rank):
+        lo = rank * cells_per_rank
+        local = field[lo:lo + cells_per_rank].copy()
+        for step in range(steps):
+            # Halo exchange with neighbours (tags disambiguate direction).
+            left, right = rank - 1, rank + 1
+            handles = []
+            if left >= 0:
+                handles.append(comm.isend(float(local[0]), dest=left,
+                                          tag=step * 2, rank=rank))
+            if right < n_ranks:
+                handles.append(comm.isend(float(local[-1]), dest=right,
+                                          tag=step * 2 + 1, rank=rank))
+            halo_l = halo_r = None
+            if left >= 0:
+                halo_l = yield from comm.recv(source=left, tag=step * 2 + 1,
+                                              rank=rank)
+            if right < n_ranks:
+                halo_r = yield from comm.recv(source=right, tag=step * 2,
+                                              rank=rank)
+            for h in handles:
+                yield h
+            # 3-point stencil with the received halos.
+            padded = np.concatenate((
+                [halo_l if halo_l is not None else local[0]],
+                local,
+                [halo_r if halo_r is not None else local[-1]],
+            ))
+            smoothed = (padded[:-2] + padded[1:-1] + padded[2:]) / 3.0
+            # Boundary cells of the global domain keep their values.
+            if left < 0:
+                smoothed[0] = local[0]
+            if right >= n_ranks:
+                smoothed[-1] = local[-1]
+            local = smoothed
+            yield from coll.barrier(rank)
+        slices[rank] = local
+        norm = yield from coll.all_reduce(rank, float(np.sum(local ** 2)))
+        return norm
+
+    procs = hcl.run_ranks(body)
+    result = np.concatenate([slices[r] for r in range(n_ranks)])
+    expected = reference(field, steps)
+    err = float(np.max(np.abs(result - expected)))
+    print(f"{n_ranks} ranks x {cells_per_rank} cells, {steps} stencil steps")
+    print(f"max |distributed - reference| = {err:.2e}")
+    assert err < 1e-12, "stencil mismatch!"
+    print(f"global L2^2 norm (all_reduce): {procs[0].result:.6f}")
+    print(f"simulated time: {hcl.now * 1e6:.1f} us; "
+          f"local halo messages: {comm.local_deliveries.value:.0f} of "
+          f"{comm.messages_sent.value:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Distributed task scheduling over HCL containers.
+
+Run:  python examples/task_scheduler.py
+
+One of the paper's motivating use cases ("indexing services, scheduling,
+data sharing").  A random task DAG is scheduled across all ranks:
+
+* the ready queue is a global ``HCL::priority_queue`` (most-urgent-first)
+  or an ``HCL::queue`` (FIFO) for comparison;
+* task state lives in an ``HCL::unordered_map``; dependency checks use the
+  *batched* multi-op API (one invocation per partition per check);
+* tasks with unfinished dependencies are deferred back into the queue.
+
+The run verifies that every task executed exactly once and never before
+its dependencies completed, then compares the two policies' makespans.
+"""
+
+from repro.apps import make_task_graph, run_scheduler
+from repro.config import ares_like
+
+
+def main():
+    spec = ares_like(nodes=2, procs_per_node=4, seed=1)
+    tasks = make_task_graph(count=60, seed=7, max_deps=3)
+    edges = sum(len(t.deps) for t in tasks)
+    total_work = sum(t.duration for t in tasks)
+    print(f"DAG: {len(tasks)} tasks, {edges} dependency edges, "
+          f"{total_work * 1e6:.0f} us of serial work, "
+          f"{spec.total_procs} workers")
+
+    print(f"\n{'policy':>10} {'makespan':>12} {'deferrals':>10} "
+          f"{'efficiency':>11}  verified")
+    for policy in ("priority", "fifo"):
+        result = run_scheduler(spec, tasks, policy=policy)
+        efficiency = total_work / (result.makespan * spec.total_procs)
+        print(f"{policy:>10} {result.makespan * 1e6:>10.1f}us "
+              f"{result.deferrals:>10} {efficiency:>10.1%}  "
+              f"{result.verified}")
+
+    result = run_scheduler(spec, tasks, policy="priority")
+    order = sorted(result.executions.items(), key=lambda kv: kv[1][0])
+    first = [tid for tid, _ in order[:5]]
+    prios = {t.task_id: t.priority for t in tasks}
+    print(f"\nfirst tasks started (priority policy): "
+          f"{[(t, prios[t]) for t in first]}")
+    print("lower priority value = more urgent; the queue drains the DAG "
+          "front first")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (the offline environment lacks the
+``wheel`` package that PEP 660 editable installs require)."""
+
+from setuptools import setup
+
+setup()

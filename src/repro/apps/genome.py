@@ -1,0 +1,76 @@
+"""Synthetic genome and short-read generation.
+
+Meraculous runs on real DNA sequencing data, which we do not have; per the
+substitution rule we synthesize the closest equivalent that exercises the
+same code paths: a random genome string over {A,C,G,T} and a set of
+fixed-length reads sampled uniformly from it (error-free by default so that
+k-mer counting and contig generation have exactly-checkable answers;
+optional substitution errors exercise the low-count filtering path that
+real Meraculous uses to drop sequencing noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["GenomeData", "synthesize_genome", "exact_kmer_counts"]
+
+_ALPHABET = np.frombuffer(b"ACGT", dtype=np.uint8)
+
+
+@dataclass
+class GenomeData:
+    """A synthetic genome plus reads sampled from it."""
+
+    genome: str
+    reads: List[str]
+    k: int
+
+    @property
+    def num_reads(self) -> int:
+        return len(self.reads)
+
+    def kmers_of_read(self, read: str) -> List[str]:
+        k = self.k
+        return [read[i:i + k] for i in range(len(read) - k + 1)]
+
+
+def synthesize_genome(
+    genome_length: int = 10_000,
+    num_reads: int = 500,
+    read_length: int = 100,
+    k: int = 19,
+    error_rate: float = 0.0,
+    seed: int = 0,
+) -> GenomeData:
+    """Build a random genome and uniform reads (optionally with errors)."""
+    if read_length < k:
+        raise ValueError("read_length must be >= k")
+    if genome_length < read_length:
+        raise ValueError("genome_length must be >= read_length")
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 4, size=genome_length)
+    genome_bytes = _ALPHABET[codes]
+    genome = genome_bytes.tobytes().decode("ascii")
+    starts = rng.integers(0, genome_length - read_length + 1, size=num_reads)
+    reads = []
+    for s in starts:
+        read = bytearray(genome_bytes[s:s + read_length])
+        if error_rate > 0:
+            flips = rng.random(read_length) < error_rate
+            for i in np.nonzero(flips)[0]:
+                read[i] = _ALPHABET[rng.integers(0, 4)]
+        reads.append(read.decode("ascii"))
+    return GenomeData(genome=genome, reads=reads, k=k)
+
+
+def exact_kmer_counts(data: GenomeData) -> Dict[str, int]:
+    """Reference histogram for verification."""
+    counts: Dict[str, int] = {}
+    for read in data.reads:
+        for kmer in data.kmers_of_read(read):
+            counts[kmer] = counts.get(kmer, 0) + 1
+    return counts

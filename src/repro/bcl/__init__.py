@@ -1,0 +1,29 @@
+"""BCL baseline — the Berkeley Container Library's client-side model.
+
+The comparison target of every experiment in the paper.  BCL's architecture
+(Section II-B) is reproduced on the *same* simulated fabric HCL uses:
+
+* **client-side programming** — every data-structure mutation is driven by
+  the calling process with one-sided verbs; the target CPU (and NIC RPC
+  path) is never involved;
+* **CAS-based bucket protocol** — an insert is ``CAS(reserve)`` +
+  ``RDMA_WRITE(data)`` + ``CAS(ready)``, with linear-probe retries on
+  collision — three-plus remote round trips per op, serialized per memory
+  region by the RDMA atomic engine;
+* **static pre-allocated partitioning** (limitation (e)/(f)): partitions are
+  sized up front for a fixed entry size, allocated at init time (the memory
+  ramp of Fig 4b), bounded by the 60%-of-node-memory rule the paper reports;
+* **exclusive per-client RDMA buffers**, which blow up with the operation
+  size (the out-of-memory behaviour above 1 MB in Fig 5).
+
+Implemented containers mirror those available in BCL: a hash map
+(:class:`~repro.bcl.hashmap.BCLHashMap`) and a circular queue
+(:class:`~repro.bcl.queue.BCLCircularQueue`) — "sets and ordered data
+structures are not implemented within BCL" (Section IV-C).
+"""
+
+from repro.bcl.runtime import BCL, BCLOutOfMemory
+from repro.bcl.hashmap import BCLHashMap
+from repro.bcl.queue import BCLCircularQueue
+
+__all__ = ["BCL", "BCLOutOfMemory", "BCLHashMap", "BCLCircularQueue"]

@@ -1,0 +1,211 @@
+"""Command-line interface: run reproduction experiments without pytest.
+
+::
+
+    python -m repro.cli list                 # what can I run?
+    python -m repro.cli fig1                 # the motivating test case
+    python -m repro.cli fig5 --sizes 4096 1048576
+    python -m repro.cli fig7 --apps isx kmer --nodes 2 4
+    python -m repro.cli sweep --nodes 2 4 8 --ops 64 --size 65536
+
+Each command builds the same scaled experiment as the corresponding bench
+in ``benchmarks/`` and prints the paper-style table.  The pytest benches
+remain the canonical, asserted versions; the CLI is for interactive
+exploration (changing sizes, node counts, providers) without editing code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.config import KB, MB, ares_like
+from repro.harness import render_series, render_table
+
+
+def _cmd_fig1(args) -> int:
+    from benchmarks.test_fig1_motivation import _run_rpc, run_bcl, SCALE
+
+    t_bcl, stages = run_bcl()
+    t_cas = _run_rpc(lock_free=False)
+    t_lf = _run_rpc(lock_free=True)
+    print(render_table(
+        "Fig 1 — motivating test",
+        ["approach", "sim (s)", "extrapolated (s)", "speedup"],
+        [["BCL", t_bcl, t_bcl * SCALE, 1.0],
+         ["RPC with CAS", t_cas, t_cas * SCALE, t_bcl / t_cas],
+         ["RPC lock-free", t_lf, t_lf * SCALE, t_bcl / t_lf]],
+    ))
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from benchmarks import test_fig5_hybrid as f5
+
+    sizes = args.sizes or f5.SIZES
+    saved = f5.SIZES
+    f5.SIZES = sizes
+    try:
+        for local, label in ((True, "intra-node"), (False, "inter-node")):
+            sweep = f5._sweep(local=local)
+            labels = [f"{s // KB}KB" if s < MB else f"{s // MB}MB"
+                      for s in sizes]
+            print(render_series(f"Fig 5 {label} bandwidth MB/s", "op size",
+                                labels, sweep))
+            print()
+    finally:
+        f5.SIZES = saved
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from benchmarks import test_fig6_scaling as f6
+
+    series = {"hcl_umap_ins": [], "hcl_map_ins": [], "bcl_umap_ins": []}
+    parts = args.partitions or f6.PART_SWEEP
+    for p in parts:
+        ui, _uf = f6._hcl_map_run(p, ordered=False)
+        oi, _of = f6._hcl_map_run(p, ordered=True)
+        bi, _bf = f6._bcl_map_run(p)
+        series["hcl_umap_ins"].append(ui)
+        series["hcl_map_ins"].append(oi)
+        series["bcl_umap_ins"].append(bi)
+    print(render_series("Fig 6a — insert throughput op/s", "partitions",
+                        parts, series))
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    from repro.apps import (
+        run_contig_generation, run_isx, run_kmer_counting, synthesize_genome,
+    )
+
+    apps = args.apps or ["isx", "kmer", "contig"]
+    nodes_sweep = args.nodes or [2, 4, 8]
+    for app in apps:
+        rows = []
+        for nodes in nodes_sweep:
+            spec = ares_like(nodes=nodes, procs_per_node=args.procs)
+            if app == "isx":
+                h = run_isx("hcl", spec, keys_per_rank=args.ops)
+                b = run_isx("bcl", spec, keys_per_rank=args.ops)
+            else:
+                data = synthesize_genome(
+                    genome_length=300 * nodes, num_reads=24 * nodes,
+                    read_length=60, k=15, seed=nodes,
+                )
+                runner = (run_kmer_counting if app == "kmer"
+                          else run_contig_generation)
+                h = runner("hcl", spec, data)
+                b = runner("bcl", spec, data)
+            assert h.verified and b.verified, f"{app} failed verification"
+            rows.append([nodes, b.time_seconds, h.time_seconds,
+                         b.time_seconds / h.time_seconds])
+        print(render_table(
+            f"Fig 7 — {app} weak scaling",
+            ["nodes", "bcl (s)", "hcl (s)", "speedup"], rows,
+        ))
+        print()
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    """Free-form insert-throughput sweep over nodes/ops/size/provider."""
+    from repro.core import HCL
+    from repro.harness import Blob
+
+    rows = []
+    for nodes in args.nodes:
+        spec = ares_like(nodes=nodes, procs_per_node=args.procs)
+        hcl = HCL(spec, provider=args.provider)
+        m = hcl.unordered_map("m", partitions=nodes,
+                              initial_buckets=8 * args.procs * args.ops)
+
+        def body(rank):
+            for i in range(args.ops):
+                yield from m.insert(rank, (rank, i), Blob(args.size))
+
+        hcl.run_ranks(body)
+        total = spec.total_procs * args.ops
+        rows.append([nodes, spec.total_procs, hcl.now,
+                     total / hcl.now,
+                     total * args.size / hcl.now / MB])
+    print(render_table(
+        f"unordered_map insert sweep ({args.size} B ops, "
+        f"provider={args.provider})",
+        ["nodes", "clients", "sim time (s)", "op/s", "MB/s"], rows,
+    ))
+    return 0
+
+
+def _cmd_microbench(args) -> int:
+    from repro.harness.microbench import run_microbench
+
+    report = run_microbench(
+        ares_like(nodes=2, procs_per_node=4), provider=args.provider
+    )
+    print(render_table(
+        f"Simulated fabric microbenchmarks (provider={args.provider}; "
+        "paper calibration: OSU ~4.5 GB/s, STREAM ~65 GB/s)",
+        ["metric", "value"], report.rows(),
+    ))
+    return 0
+
+
+def _cmd_list(args) -> int:
+    print("commands: fig1 fig5 fig6 fig7 sweep microbench list")
+    print("full asserted reproduction: pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="HCL reproduction experiments (CLUSTER 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list commands").set_defaults(fn=_cmd_list)
+    sub.add_parser("fig1", help="motivating test").set_defaults(fn=_cmd_fig1)
+
+    p5 = sub.add_parser("fig5", help="hybrid access bandwidth sweep")
+    p5.add_argument("--sizes", nargs="+", type=int, default=None)
+    p5.set_defaults(fn=_cmd_fig5)
+
+    p6 = sub.add_parser("fig6", help="container scaling")
+    p6.add_argument("--partitions", nargs="+", type=int, default=None)
+    p6.set_defaults(fn=_cmd_fig6)
+
+    p7 = sub.add_parser("fig7", help="application kernels")
+    p7.add_argument("--apps", nargs="+",
+                    choices=["isx", "kmer", "contig"], default=None)
+    p7.add_argument("--nodes", nargs="+", type=int, default=None)
+    p7.add_argument("--procs", type=int, default=3)
+    p7.add_argument("--ops", type=int, default=48,
+                    help="ISx keys per rank")
+    p7.set_defaults(fn=_cmd_fig7)
+
+    pm = sub.add_parser("microbench", help="OSU-style fabric microbenchmarks")
+    pm.add_argument("--provider", default="roce",
+                    choices=["roce", "verbs", "tcp"])
+    pm.set_defaults(fn=_cmd_microbench)
+
+    ps = sub.add_parser("sweep", help="free-form throughput sweep")
+    ps.add_argument("--nodes", nargs="+", type=int, default=[2, 4, 8])
+    ps.add_argument("--procs", type=int, default=6)
+    ps.add_argument("--ops", type=int, default=32)
+    ps.add_argument("--size", type=int, default=4 * KB)
+    ps.add_argument("--provider", default="roce",
+                    choices=["roce", "verbs", "tcp"])
+    ps.set_defaults(fn=_cmd_sweep)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

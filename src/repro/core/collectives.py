@@ -1,0 +1,159 @@
+"""Collective operations over HCL containers (Section III-C4).
+
+"Asynchronicity increases overlaps with other computations and the use of
+concurrent communication lanes within the hardware, thereby enabling
+efficient collectives (e.g., broadcast, all gather/scatter)."
+
+These collectives are built *on top of the public container API* — they
+move data through a distributed hash map and synchronize with a barrier,
+so every byte crosses the simulated fabric and the incast/fan-out costs
+are real.  ``reduce`` showcases the procedural paradigm: per-rank
+contributions combine **at the server** through ``upsert``, one invocation
+per rank, with no client-side read-modify-write round trips.
+
+Each collective call is generation-stamped, so a :class:`Collectives`
+instance is reusable across rounds, like an MPI communicator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.simnet.sync import Barrier
+
+__all__ = ["Collectives"]
+
+
+class Collectives:
+    """MPI-flavoured collectives for HCL rank processes."""
+
+    def __init__(self, runtime, name: str = "coll",
+                 ranks: Optional[range] = None, partitions: Optional[int] = None):
+        self.runtime = runtime
+        self.name = name
+        self.ranks = ranks if ranks is not None else range(
+            runtime.cluster.total_procs
+        )
+        self.size = len(self.ranks)
+        self._store = runtime.unordered_map(
+            f"__{name}__", partitions=partitions, initial_buckets=4096,
+        )
+        self._barrier = Barrier(runtime.sim, parties=self.size,
+                                name=f"{name}/barrier")
+        self._generation = 0
+
+    def _gen(self) -> int:
+        # All parties call collectives in the same order (the usual MPI
+        # contract), so a per-instance counter bumped at the barrier is a
+        # consistent generation stamp.
+        return self._barrier.generation
+
+    # -- barrier --------------------------------------------------------------
+    def barrier(self, rank: int):
+        """Generator: wait until every rank has arrived."""
+        gen = yield self._barrier.wait()
+        return gen
+
+    # -- broadcast -------------------------------------------------------------
+    def broadcast(self, rank: int, value: Any = None, root: int = 0):
+        """Generator: root's ``value`` is returned at every rank.
+
+        One insert by the root, then one find per rank (the fan-in reads
+        of a hot key — incast on the owning partition — are charged).
+        """
+        gen = self._gen()
+        if rank == root:
+            yield from self._store.insert(rank, ("bcast", gen), value)
+        yield self._barrier.wait()
+        out, found = yield from self._store.find(rank, ("bcast", gen))
+        assert found, "broadcast value missing (root did not arrive?)"
+        return out
+
+    # -- gather / all-gather -----------------------------------------------------
+    def gather(self, rank: int, value: Any, root: int = 0):
+        """Generator: root receives ``[value_0, ..., value_{n-1}]``; other
+        ranks receive None."""
+        gen = self._gen()
+        yield from self._store.insert(rank, ("gather", gen, rank), value)
+        yield self._barrier.wait()
+        if rank != root:
+            return None
+        out = []
+        futures = [
+            self._store.find_async(rank, ("gather", gen, r))
+            for r in self.ranks
+        ]
+        for fut in futures:
+            yield fut.wait()
+            value, found = fut.result
+            assert found
+            out.append(value)
+        return out
+
+    def all_gather(self, rank: int, value: Any):
+        """Generator: every rank receives everyone's values, in rank order.
+
+        n inserts followed by n^2 overlapped finds — the quadratic read
+        fan-out is the honest cost of an unoptimized all-gather.
+        """
+        gen = self._gen()
+        yield from self._store.insert(rank, ("allg", gen, rank), value)
+        yield self._barrier.wait()
+        futures = [
+            self._store.find_async(rank, ("allg", gen, r)) for r in self.ranks
+        ]
+        out = []
+        for fut in futures:
+            yield fut.wait()
+            v, found = fut.result
+            assert found
+            out.append(v)
+        return out
+
+    # -- scatter ---------------------------------------------------------------------
+    def scatter(self, rank: int, values: Optional[List[Any]] = None,
+                root: int = 0):
+        """Generator: root provides one value per rank; each rank gets its own."""
+        gen = self._gen()
+        if rank == root:
+            if values is None or len(values) != self.size:
+                raise ValueError(
+                    f"scatter root needs exactly {self.size} values"
+                )
+            futures = [
+                self._store.insert_async(rank, ("scat", gen, r), v)
+                for r, v in zip(self.ranks, values)
+            ]
+            for fut in futures:
+                yield fut.wait()
+        yield self._barrier.wait()
+        out, found = yield from self._store.find(rank, ("scat", gen, rank))
+        assert found
+        return out
+
+    # -- reduce ------------------------------------------------------------------------
+    def reduce(self, rank: int, value: Any, root: int = 0):
+        """Generator: sum-reduce via server-side ``upsert`` — the procedural
+        paradigm's one-invocation-per-contribution reduction.
+
+        ``value`` must support ``+`` with itself and with the integer 0
+        (ints, floats, and mergeable types like the contig ExtensionPair).
+        Root receives the total; others receive None.
+        """
+        gen = self._gen()
+        yield from self._store.upsert(rank, ("red", gen), value)
+        yield self._barrier.wait()
+        if rank != root:
+            return None
+        total, found = yield from self._store.find(rank, ("red", gen))
+        assert found
+        return total
+
+    def all_reduce(self, rank: int, value: Any):
+        """Generator: reduce + broadcast in one round trip per rank pair."""
+        gen = self._gen()
+        yield from self._store.upsert(rank, ("ared", gen), value)
+        yield self._barrier.wait()
+        total, found = yield from self._store.find(rank, ("ared", gen))
+        assert found
+        return total

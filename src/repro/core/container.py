@@ -1,0 +1,470 @@
+"""Base machinery shared by all HCL distributed containers.
+
+A container owns one partition per hosting node slot.  Each
+:class:`Partition` couples a *real* local structure (cuckoo / rbtree /
+queue / mdlist) with a :class:`~repro.memory.segment.MemorySegment` for
+memory accounting and optional persistence.
+
+The **hybrid data access model** (Section III-C5) lives in
+:meth:`DistributedContainer._execute`: if the target partition's node equals
+the calling rank's node, the operation bypasses the RPC machinery entirely
+and runs against shared memory (charging only the structure's local-memory
+cost); otherwise a single RoR invocation ships the operation to the target
+NIC.
+
+Replication (Section III-A4) is asynchronous and server-side: after a
+mutating handler completes, the hosting node re-invokes the operation on
+the next ``replication`` partitions without the caller waiting.
+
+Persistence (Section III-C6): mutating handlers append a DataBox record to
+the partition's mmap-backed log and charge the device sync cost
+(per-operation in strict mode, batched in relaxed mode).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.costs import CostLedger, charge, estimate_charge_time
+from repro.memory.segment import MemorySegment
+from repro.rpc.future import RPCFuture
+from repro.serialization.databox import DataBox, estimate_size
+from repro.simnet.stats import Counter
+from repro.structures.stats import OpStats
+
+__all__ = ["Partition", "DistributedContainer"]
+
+
+class Partition:
+    """One partition: a local structure on a node, plus its segment.
+
+    ``index`` is the positional slot in the container's partition list
+    (used for RPC routing) and may change when partitions are removed;
+    ``uid`` is a stable identity assigned at creation, used by the
+    rendezvous hash so that membership changes move a minimal key set.
+    """
+
+    def __init__(self, index: int, node_id: int, structure: Any,
+                 segment: MemorySegment, uid: int = None):
+        self.index = index
+        self.uid = uid if uid is not None else index
+        self.node_id = node_id
+        self.structure = structure
+        self.segment = segment
+        self.ops = Counter(f"part{index}/ops")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Partition {self.index} on node {self.node_id}>"
+
+
+class DistributedContainer:
+    """Common behaviour for all HCL DDSs."""
+
+    #: subclasses list their operation names, e.g. ("insert", "find", ...)
+    OPERATIONS: Tuple[str, ...] = ()
+
+    #: concurrency-control levels (Section III-D: "HCL allows its users to
+    #: tune the level of atomicity by setting the appropriate concurrency
+    #: control parameter").  ``lockfree`` relies on the lock-free local
+    #: structures (default); ``mutex`` serializes every operation on a
+    #: partition behind one lock — stronger isolation, lower concurrency.
+    CONCURRENCY_LEVELS = ("lockfree", "mutex")
+
+    def __init__(
+        self,
+        runtime,
+        name: str,
+        partitions: Sequence[Partition],
+        codec: str = "msgpack",
+        replication: int = 0,
+        persistence: bool = False,
+        concurrency: str = "lockfree",
+    ):
+        if concurrency not in self.CONCURRENCY_LEVELS:
+            raise ValueError(
+                f"concurrency must be one of {self.CONCURRENCY_LEVELS}"
+            )
+        self.runtime = runtime
+        self.name = name
+        self.partitions: List[Partition] = list(partitions)
+        self.codec = codec
+        self.replication = replication
+        self.persistence = persistence
+        self.concurrency = concurrency
+        self.ledger = CostLedger()
+        self.local_hits = Counter(f"{name}/local")
+        self.remote_calls = Counter(f"{name}/remote")
+        if concurrency == "mutex":
+            from repro.simnet.sync import SimLock
+
+            self._mutexes = {
+                part.index: SimLock(runtime.sim, name=f"{name}.{part.index}")
+                for part in self.partitions
+            }
+        else:
+            self._mutexes = {}
+        self._bind_handlers()
+
+    def _mutex_of(self, part: "Partition"):
+        if self.concurrency != "mutex":
+            return None
+        lock = self._mutexes.get(part.index)
+        if lock is None:  # partitions added dynamically
+            from repro.simnet.sync import SimLock
+
+            lock = SimLock(self.runtime.sim, name=f"{self.name}.{part.index}")
+            self._mutexes[part.index] = lock
+        return lock
+
+    # -- wiring -------------------------------------------------------------
+    def _bind_handlers(self) -> None:
+        """Bind one handler per (operation, hosting node)."""
+        bound_nodes = set()
+        for part in self.partitions:
+            if part.node_id in bound_nodes:
+                continue
+            bound_nodes.add(part.node_id)
+            server = self.runtime.server(part.node_id)
+            for op in self.OPERATIONS:
+                server.bind(f"{self.name}.{op}", self._make_handler(op))
+
+    def _make_handler(self, op: str) -> Callable:
+        method = getattr(self, f"_do_{op}")
+
+        def handler(ctx, part_index, *args):
+            part = self.partitions[part_index]
+            mutex = self._mutex_of(part)
+            if mutex is not None:
+                yield mutex.acquire()
+                # lock/unlock themselves are atomic RMWs on the NIC core
+                yield ctx.sim.timeout(
+                    2 * ctx.cost.cas_local * ctx.cost.nic_compute_factor
+                )
+            try:
+                result, stats, entry_bytes = method(part, *args)
+                if stats is not None:
+                    # Executed on the NIC core: compute terms run slower.
+                    yield from charge(ctx.node, stats, entry_bytes,
+                                      cpu_factor=ctx.cost.nic_compute_factor)
+            finally:
+                if mutex is not None:
+                    mutex.release()
+            self.ledger.record(f"{op}", stats, remote=True)
+            part.ops.add(1)
+            if self.persistence and self._is_mutation(op):
+                yield from self._persist(part, op, args, ctx.node)
+            if self.replication and self._is_mutation(op):
+                self._replicate(part, op, args)
+            return result
+
+        return handler
+
+    #: operations that never mutate (skip persistence/replication fan-out)
+    READ_ONLY_OPS = frozenset(
+        {"find", "contains", "size", "peek", "range_find", "min_key",
+         "max_key", "scan"}
+    )
+
+    @classmethod
+    def _is_mutation(cls, op: str) -> bool:
+        return op not in cls.READ_ONLY_OPS
+
+    # -- the hybrid access core -------------------------------------------------
+    def _execute(self, rank: int, part: Partition, op: str, args: tuple,
+                 payload_bytes: int):
+        """Generator: run ``op`` on ``part`` from ``rank`` — local or remote.
+
+        This is the locality decision of Section III-C5: same node => direct
+        shared-memory access (no RPC, no NIC); different node => one RoR
+        invocation.
+        """
+        caller_node = self.runtime.cluster.node_of_rank(rank)
+        if caller_node == part.node_id:
+            self.local_hits.add(1)
+            node = self.runtime.cluster.node(caller_node)
+            method = getattr(self, f"_do_{op}")
+            mutex = self._mutex_of(part)
+            if mutex is not None:
+                yield mutex.acquire()
+            try:
+                result, stats, entry_bytes = method(part, *args)
+                if stats is not None:
+                    yield from charge(node, stats, entry_bytes)
+            finally:
+                if mutex is not None:
+                    mutex.release()
+            self.ledger.record(op, stats, remote=False)
+            part.ops.add(1)
+            if self.persistence and self._is_mutation(op):
+                yield from self._persist(part, op, args, node)
+            if self.replication and self._is_mutation(op):
+                self._replicate(part, op, args)
+            return result
+        self.remote_calls.add(1)
+        client = self.runtime.client(caller_node)
+        try:
+            result = yield from client.call(
+                part.node_id,
+                f"{self.name}.{op}",
+                (part.index, *args),
+                payload_size=payload_bytes,
+            )
+            return result
+        except ConnectionError:
+            # Primary down: replicated containers serve reads from the
+            # next replica(s) in the hash chain (Section III-A4).
+            if self.replication <= 0 or self._is_mutation(op):
+                raise
+            result = yield from self._read_from_replica(
+                client, part, op, args, payload_bytes
+            )
+            return result
+
+    def _read_from_replica(self, client, part, op, args, payload_bytes):
+        from repro.fabric.node import NodeDownError
+
+        nparts = len(self.partitions)
+        last_error: Optional[BaseException] = None
+        for step in range(1, self.replication + 1):
+            replica = self.partitions[(part.index + step) % nparts]
+            if not self.runtime.cluster.node(replica.node_id).alive:
+                continue
+            try:
+                result = yield from client.call(
+                    replica.node_id,
+                    f"{self.name}.{op}",
+                    (replica.index, *args),
+                    payload_size=payload_bytes,
+                )
+                return result
+            except ConnectionError as err:  # replica died too; keep going
+                last_error = err
+        raise last_error or NodeDownError(
+            f"{self.name}.{op}: primary and all {self.replication} "
+            "replicas are down"
+        )
+
+    def _execute_async(self, rank: int, part: Partition, op: str, args: tuple,
+                       payload_bytes: int) -> RPCFuture:
+        """Asynchronous variant: returns a future immediately.
+
+        Local operations still complete through a spawned process so that
+        their memory cost lands on the timeline.
+        """
+        caller_node = self.runtime.cluster.node_of_rank(rank)
+        if caller_node == part.node_id:
+            fut = RPCFuture(self.runtime.sim, f"{self.name}.{op}")
+
+            def local_body():
+                try:
+                    value = yield from self._execute(
+                        rank, part, op, args, payload_bytes
+                    )
+                    fut._complete(value)
+                except BaseException as err:  # noqa: BLE001
+                    fut._error(err)
+
+            self.runtime.sim.process(local_body(), name=f"local-{op}")
+            return fut
+        self.remote_calls.add(1)
+        client = self.runtime.client(caller_node)
+        return client.invoke(
+            part.node_id,
+            f"{self.name}.{op}",
+            (part.index, *args),
+            payload_size=payload_bytes,
+        )
+
+    # -- batched multi-ops -------------------------------------------------------
+    # "Callbacks ... are extremely powerful in cases where we want to
+    # aggregate multiple data-local operations together ... mapping several
+    # spatially located updates to be performed with one call" (III-C3).
+    # ``_do_batch`` executes a list of sub-operations against one partition
+    # under a single invocation; subclasses expose a keyed ``batch`` API.
+
+    def _do_batch(self, part: "Partition", subops):
+        from repro.structures.stats import OpStats
+
+        results = []
+        total = OpStats()
+        worst_bytes = 16
+        for op, args in subops:
+            if op == "batch":
+                raise ValueError("nested batches are not allowed")
+            method = getattr(self, f"_do_{op}", None)
+            if method is None:
+                raise KeyError(f"unknown sub-operation {op!r}")
+            result, stats, entry_bytes = method(part, *args)
+            results.append(result)
+            if stats is not None:
+                total = total.merge(stats)
+            worst_bytes = max(worst_bytes, entry_bytes)
+        return results, total, worst_bytes
+
+    def _keyed_batch(self, rank: int, ops):
+        """Generator: group keyed sub-ops by partition, one invocation each.
+
+        Shared by every container with a ``partition_for`` (hash and
+        ordered); results return in the callers' original order.
+        """
+        from repro.serialization.databox import estimate_size
+
+        groups = {}
+        for idx, entry in enumerate(ops):
+            op, key, *rest = entry
+            part = self.partition_for(key)
+            groups.setdefault(part.index, (part, []))[1].append(
+                (idx, op, (key, *rest))
+            )
+        results = [None] * len(ops)
+        futures = []
+        for part, members in groups.values():
+            subops = [(op, args) for _idx, op, args in members]
+            payload = sum(
+                sum(estimate_size(a) for a in args)
+                for _i, _op, args in members
+            )
+            fut = self._execute_async(rank, part, "batch", (subops,), payload)
+            futures.append((fut, members))
+        for fut, members in futures:
+            yield fut.wait()
+            for (idx, _op, _args), result in zip(members, fut.result):
+                results[idx] = result
+        return results
+
+    # -- replication ----------------------------------------------------------------
+    def _replicate(self, part: Partition, op: str, args: tuple) -> None:
+        """Asynchronously re-execute a mutation on the next partitions.
+
+        "Replication occurs asynchronously at the server side, where the
+        target process will further hash an operation to more servers."
+        """
+        nparts = len(self.partitions)
+        if nparts < 2:
+            return
+        client = self.runtime.client(part.node_id)
+        for step in range(1, self.replication + 1):
+            replica = self.partitions[(part.index + step) % nparts]
+            if replica.index == part.index:
+                continue
+            if replica.node_id == part.node_id:
+                # Same node: apply directly (no network), zero-cost async.
+                method = getattr(self, f"_do_{op}")
+                method(replica, *args)
+            else:
+                client.invoke(
+                    replica.node_id,
+                    f"{self.name}.{op}:replica",
+                    (replica.index, *args),
+                )
+
+    def _bind_replica_handlers(self) -> None:
+        """Bind no-fanout variants used as replication targets."""
+        bound_nodes = set()
+        for part in self.partitions:
+            if part.node_id in bound_nodes:
+                continue
+            bound_nodes.add(part.node_id)
+            server = self.runtime.server(part.node_id)
+            for op in self.OPERATIONS:
+                if not self._is_mutation(op):
+                    continue
+                server.bind(
+                    f"{self.name}.{op}:replica", self._make_replica_handler(op)
+                )
+
+    def _make_replica_handler(self, op: str) -> Callable:
+        method = getattr(self, f"_do_{op}")
+
+        def handler(ctx, part_index, *args):
+            part = self.partitions[part_index]
+            result, stats, entry_bytes = method(part, *args)
+            if stats is not None:
+                yield from charge(ctx.node, stats, entry_bytes,
+                                  cpu_factor=ctx.cost.nic_compute_factor)
+            return result
+
+        return handler
+
+    # -- persistence -------------------------------------------------------------------
+    def recover_from_logs(self) -> int:
+        """Replay each partition's backing log into its structure.
+
+        Called at construction when ``recover=True``: the container comes
+        back with the exact pre-crash contents (inserts, upserts, erases,
+        pushes... replayed in order).  Returns the number of operations
+        replayed.  Replay happens at time zero — recovery cost is an
+        offline property, not part of the measured experiments.
+
+        Keys round-trip through the container's codec: use codec-stable
+        key types (str / int / bytes) for persisted containers — msgpack,
+        like any serialization wire format, decodes tuples as lists.
+        """
+        replayed = 0
+        for part in self.partitions:
+            log = part.segment.log
+            if log is None:
+                continue
+            for record in log.records():
+                op, args = DataBox.decode(record.payload, self.codec).value
+                method = getattr(self, f"_do_{op}", None)
+                if method is None:
+                    raise ValueError(
+                        f"log for {self.name!r} contains unknown op {op!r}"
+                    )
+                method(part, *args)
+                replayed += 1
+        return replayed
+
+    def _persist(self, part: Partition, op: str, args: tuple, node):
+        if part.segment.log is None:
+            return
+        box = DataBox([op, list(args)], codec=self.codec)
+        payload = box.encode()
+        part.segment.persist(payload)
+        if not part.segment.log.relaxed:
+            yield node.sim.timeout(node.cost.persist(len(payload)))
+        # Relaxed mode: the kernel flushes in the background; no foreground
+        # cost is charged (Section III-C6's tunable synchronization).
+
+    # -- memory growth --------------------------------------------------------------------
+    def _grow_segment_if_resized(self, part: Partition, stats: OpStats,
+                                 entry_bytes: int) -> None:
+        """Mirror a structure resize into segment/node memory accounting."""
+        if not stats.resized:
+            return
+        need = self._structure_bytes(part, entry_bytes)
+        if need > part.segment.size:
+            part.segment.grow(need)
+
+    def _structure_bytes(self, part: Partition, entry_bytes: int) -> int:
+        """Estimated footprint of the partition structure; overridable."""
+        n = len(part.structure)
+        return max(64 * 1024, 2 * n * max(entry_bytes, 64))
+
+    # -- introspection ----------------------------------------------------------------------
+    def partition_of_node(self, node_id: int) -> Optional[Partition]:
+        for part in self.partitions:
+            if part.node_id == node_id:
+                return part
+        return None
+
+    def total_entries(self) -> int:
+        return sum(len(p.structure) for p in self.partitions)
+
+    def memory_footprint(self) -> int:
+        return sum(p.segment.size for p in self.partitions)
+
+    @staticmethod
+    def _entry_bytes(*values: Any) -> int:
+        return sum(estimate_size(v) for v in values)
+
+    def close(self) -> None:
+        for part in self.partitions:
+            part.segment.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<{type(self).__name__} {self.name!r} "
+            f"partitions={len(self.partitions)} entries={self.total_entries()}>"
+        )

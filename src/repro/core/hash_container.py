@@ -1,0 +1,391 @@
+"""HCL::unordered_map and HCL::unordered_set (Section III-D1).
+
+Both are "a single logically contiguous array of buckets distributed
+block-wise among multiple partitions in the global address space" with two
+levels of hashing: the first chooses the partition, the second locates the
+bucket inside it (done by the partition's cuckoo table).  Users can override
+the key distribution by passing ``hash_fn`` (the ``std::hash<K>`` override).
+
+Maps store ``(key, value)`` buckets; sets store key-only buckets, which is
+why the paper measures sets 7-14% faster (smaller serialization) — here the
+value bytes simply drop out of the charged sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterator, Optional, Tuple
+
+from repro.core.container import DistributedContainer, Partition
+from repro.rpc.future import RPCFuture
+from repro.structures.cuckoo import CuckooHash
+
+__all__ = ["HCLUnorderedMap", "HCLUnorderedSet"]
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN64 = 0x9E3779B97F4A7C15
+
+
+class _HashContainerBase(DistributedContainer):
+    """Shared two-level-hashing machinery."""
+
+    OPERATIONS = ("insert", "find", "erase", "resize", "upsert", "batch",
+                  "scan", "size")
+
+    def _do_size(self, part: Partition):
+        from repro.structures.stats import OpStats
+
+        return len(part.structure), OpStats(local_ops=1), 8
+
+    def count(self, rank: int):
+        """Generator: total entries across all partitions (fan-out reads)."""
+        futures = [
+            self._execute_async(rank, part, "size", (), 8)
+            for part in self.partitions
+        ]
+        total = 0
+        for fut in futures:
+            yield fut.wait()
+            total += fut.result
+        return total
+
+    # -- distributed iteration (STL-like traversal, batched) -----------------
+    def _do_scan(self, part: Partition, cursor: int, count: int):
+        """Read ``count`` entries starting at slot ``cursor``.
+
+        Returns ``(items, next_cursor)`` where ``next_cursor`` is -1 when
+        the partition is exhausted.  The cursor indexes the cuckoo tables'
+        flattened slot array, so a scan is a sequential sweep of the
+        partition memory (cheap reads, no per-item hashing).
+        """
+        from repro.structures.stats import OpStats
+
+        table: CuckooHash = part.structure
+        slots = [*table._t0, *table._t1]
+        items = []
+        pos = cursor
+        visited = 0
+        while pos < len(slots) and len(items) < count:
+            slot = slots[pos]
+            if slot is not None:
+                items.append(slot)
+            pos += 1
+            visited += 1
+        next_cursor = pos if pos < len(slots) else -1
+        stats = OpStats(local_ops=visited, reads=len(items))
+        return (items, next_cursor), stats, 64
+
+    def scan(self, rank: int, partition_id: int, cursor: int = 0,
+             count: int = 64):
+        """Generator: one batched read of a partition's entries."""
+        part = self.partitions[partition_id]
+        result = yield from self._execute(
+            rank, part, "scan", (cursor, count), payload_bytes=16
+        )
+        items, next_cursor = result
+        return [tuple(kv) for kv in items], next_cursor
+
+    def collect_all(self, rank: int, batch: int = 64):
+        """Generator: every (key, value) pair in the container, fetched in
+        per-partition batches (the distributed-iteration convenience)."""
+        out = []
+        for part in self.partitions:
+            cursor = 0
+            while cursor != -1:
+                items, cursor = yield from self.scan(
+                    rank, part.index, cursor, batch
+                )
+                out.extend(items)
+        return out
+
+    def batch(self, rank: int, ops: "list"):
+        """Generator: execute many keyed operations in few invocations.
+
+        ``ops`` is a sequence of tuples — ``("insert", key, value)``,
+        ``("find", key)``, ``("erase", key)``, ``("upsert", key, delta)``.
+        Operations are grouped by target partition and shipped as ONE
+        invocation per partition (the spatial-aggregation win of
+        Section III-C3); results come back in the original order.
+        """
+        results = yield from self._keyed_batch(rank, ops)
+        return results
+
+    def _do_upsert(self, part: Partition, key, delta):
+        """Read-modify-write executed *at the target* — one invocation.
+
+        The procedural-programming showcase: a client-side library (BCL)
+        needs a find round trip plus an insert round trip (plus their CAS
+        traffic) for the same effect.  Used by the k-mer counting kernel.
+        """
+        value, found, fstats = part.structure.find(key)
+        base = value if found else 0
+        _new, istats = part.structure.insert(key, base + delta)
+        stats = fstats.merge(istats)
+        entry_bytes = self._entry_bytes(key, base + delta)
+        self._grow_segment_if_resized(part, stats, entry_bytes)
+        return base + delta, stats, entry_bytes
+
+    def upsert(self, rank: int, key: Hashable, delta: Any = 1):
+        """Generator: atomic increment-or-insert; returns the new value."""
+        part = self.partition_for(key)
+        result = yield from self._execute(
+            rank, part, "upsert", (key, delta),
+            payload_bytes=self._entry_bytes(key, delta),
+        )
+        return result
+
+    def upsert_async(self, rank: int, key: Hashable, delta: Any = 1):
+        part = self.partition_for(key)
+        return self._execute_async(
+            rank, part, "upsert", (key, delta), self._entry_bytes(key, delta)
+        )
+
+    def __init__(self, runtime, name, partitions, hash_fn=None, **kwargs):
+        self._hash_fn: Callable[[Any], int] = hash_fn or hash
+        super().__init__(runtime, name, partitions, **kwargs)
+        if self.replication:
+            self._bind_replica_handlers()
+
+    # -- level-1 hash: key -> partition ------------------------------------
+    # Rendezvous (highest-random-weight) hashing: each key scores every
+    # partition by mixing the key hash with the partition's stable uid and
+    # picks the maximum.  Uniform at any member count AND minimally
+    # disruptive on membership change: adding/removing a partition only
+    # remaps the keys whose winner changed (~1/(n+1) of them) — the
+    # property behind HCL's cheap, localized re-balancing (vs BCL's
+    # limitation (e)).
+    @staticmethod
+    def _hrw_score(h: int, uid: int) -> int:
+        x = (h ^ (uid * 0xC2B2AE3D27D4EB4F)) & _MASK64
+        x = (x * _GOLDEN64) & _MASK64
+        x ^= x >> 29
+        x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+        return x ^ (x >> 32)
+
+    def partition_for(self, key: Hashable) -> Partition:
+        h = self._hash_fn(key) & _MASK64
+        best = None
+        best_score = -1
+        for part in self.partitions:
+            score = self._hrw_score(h, part.uid)
+            if score > best_score:
+                best = part
+                best_score = score
+        return best
+
+    # -- explicit resize (Table I row 3) -----------------------------------
+    def _do_resize(self, part: Partition, new_buckets: int):
+        table: CuckooHash = part.structure
+        if new_buckets <= table.bucket_count:
+            return False, None, 0
+        from repro.structures.stats import OpStats
+
+        stats = OpStats(resized=True, resize_entries=len(table))
+        while table.bucket_count < new_buckets:
+            table._resize(stats)
+        self._grow_segment_if_resized(part, stats, 128)
+        return True, stats, 128
+
+    def resize(self, rank: int, partition_id: int, new_buckets: int):
+        """Generator: explicit per-partition resize (localized, no global
+        synchronization — Section III-D)."""
+        part = self.partitions[partition_id]
+        result = yield from self._execute(
+            rank, part, "resize", (new_buckets,), payload_bytes=16
+        )
+        return result
+
+    # -- dynamic partition membership (Section III-D: "heterogeneous
+    # partitions within PGAS ... dynamic addition/removal of partitions") --
+    def add_partition(self, rank: int, node_id: int,
+                      initial_buckets: Optional[int] = None):
+        """Generator: grow the container by one partition on ``node_id``.
+
+        Entries whose first-level hash now lands on the new partition are
+        migrated there (the re-balancing cost BCL's static agreement makes
+        expensive — here it is localized to moved keys, no all-to-all
+        synchronization).  Returns the number of migrated entries.
+        """
+        from repro.core.container import Partition
+        from repro.memory.segment import MemorySegment
+        from repro.structures.cuckoo import CuckooHash
+
+        node = self.runtime.cluster.node(node_id)
+        index = len(self.partitions)
+        uid = max(p.uid for p in self.partitions) + 1
+        seg = MemorySegment(node, 64 * 1024, name=f"{self.name}.u{uid}")
+        self.runtime.gas.register(seg)
+        structure = CuckooHash(
+            initial_buckets or CuckooHash.DEFAULT_BUCKETS,
+            hash_fn=self._hash_fn,
+        )
+        part = Partition(index, node_id, structure, seg, uid=uid)
+        # Bind handlers for the (possibly new) hosting node before routing.
+        server = self.runtime.server(node_id)
+        for op in self.OPERATIONS:
+            name = f"{self.name}.{op}"
+            if name not in server.registry:
+                server.bind(name, self._make_handler(op))
+        self.partitions.append(part)
+        moved = yield from self._migrate_misplaced(rank)
+        return moved
+
+    def remove_partition(self, rank: int, partition_id: int):
+        """Generator: drain and remove one partition; entries re-hash to the
+        surviving partitions.  Returns the number of migrated entries."""
+        if len(self.partitions) < 2:
+            raise ValueError("cannot remove the last partition")
+        if not 0 <= partition_id < len(self.partitions):
+            raise IndexError(f"no partition {partition_id}")
+        victim = self.partitions.pop(partition_id)
+        for i, part in enumerate(self.partitions):
+            part.index = i
+        evicted = list(victim.structure.items())
+        moved = 0
+        for key, value in evicted:
+            target = self.partition_for(key)
+            args = (key, value) if self._stores_values() else (key,)
+            yield from self._execute(
+                rank, target, "insert", args,
+                payload_bytes=self._entry_bytes(*args),
+            )
+            moved += 1
+        victim.segment.close()
+        self.runtime.gas.deregister(victim.segment)
+        return moved
+
+    def _stores_values(self) -> bool:
+        return isinstance(self, HCLUnorderedMap)
+
+    def _migrate_misplaced(self, rank: int):
+        """Move entries whose partition changed after a membership change.
+
+        Rendezvous hashing keeps the moved set minimal (~1/(n+1) of the
+        keys); the moves ship through the batched multi-op API — one
+        invocation per destination partition — so migration cost is a few
+        bulk transfers, not per-key round trips.
+        """
+        ops = []
+        for part in list(self.partitions):
+            for key, value in list(part.structure.items()):
+                target = self.partition_for(key)
+                if target is part:
+                    continue
+                part.structure.remove(key)
+                if self._stores_values():
+                    ops.append(("insert", key, value))
+                else:
+                    ops.append(("insert", key))
+        if ops:
+            yield from self.batch(rank, ops)
+        return len(ops)
+
+    # -- iteration (debug / test helper; not a paper API) --------------------
+    def _all_items(self) -> Iterator[Tuple[Hashable, Any]]:
+        for part in self.partitions:
+            yield from part.structure.items()
+
+
+class HCLUnorderedMap(_HashContainerBase):
+    """Distributed hash map: ``insert(k, v)``, ``find(k)``, ``erase(k)``."""
+
+    # -- server-side ops: (result, stats, entry_bytes) ------------------------
+    def _do_insert(self, part: Partition, key, value):
+        entry_bytes = self._entry_bytes(key, value)
+        _new, stats = part.structure.insert(key, value)
+        self._grow_segment_if_resized(part, stats, entry_bytes)
+        return True, stats, entry_bytes
+
+    def _do_find(self, part: Partition, key):
+        value, found, stats = part.structure.find(key)
+        entry_bytes = self._entry_bytes(key, value) if found else 16
+        return (value if found else None, found), stats, entry_bytes
+
+    def _do_erase(self, part: Partition, key):
+        ok, stats = part.structure.remove(key)
+        return ok, stats, 16
+
+    # -- client API (generators; ``rank`` identifies the caller) ---------------
+    def insert(self, rank: int, key: Hashable, value: Any):
+        """bool insert(const K&, const V&) — Table I: F + L + W."""
+        part = self.partition_for(key)
+        payload = self._entry_bytes(key, value)
+        result = yield from self._execute(
+            rank, part, "insert", (key, value), payload_bytes=payload
+        )
+        return result
+
+    def insert_async(self, rank: int, key: Hashable, value: Any) -> RPCFuture:
+        part = self.partition_for(key)
+        payload = self._entry_bytes(key, value)
+        return self._execute_async(rank, part, "insert", (key, value), payload)
+
+    def find(self, rank: int, key: Hashable):
+        """bool find(const K&, V&) — Table I: F + L + R.
+
+        Returns ``(value, found)``.
+        """
+        part = self.partition_for(key)
+        result = yield from self._execute(
+            rank, part, "find", (key,), payload_bytes=self._entry_bytes(key)
+        )
+        return tuple(result)
+
+    def find_async(self, rank: int, key: Hashable) -> RPCFuture:
+        part = self.partition_for(key)
+        return self._execute_async(
+            rank, part, "find", (key,), self._entry_bytes(key)
+        )
+
+    def erase(self, rank: int, key: Hashable):
+        part = self.partition_for(key)
+        result = yield from self._execute(
+            rank, part, "erase", (key,), payload_bytes=self._entry_bytes(key)
+        )
+        return result
+
+
+class HCLUnorderedSet(_HashContainerBase):
+    """Distributed hash set: key-only buckets."""
+
+    def _do_insert(self, part: Partition, key):
+        entry_bytes = self._entry_bytes(key)
+        _new, stats = part.structure.insert(key, True)
+        self._grow_segment_if_resized(part, stats, entry_bytes)
+        return True, stats, entry_bytes
+
+    def _do_find(self, part: Partition, key):
+        found, stats = part.structure.contains(key)
+        return found, stats, self._entry_bytes(key)
+
+    def _do_erase(self, part: Partition, key):
+        ok, stats = part.structure.remove(key)
+        return ok, stats, 16
+
+    def insert(self, rank: int, key: Hashable):
+        """bool insert(const K&) — Table I: F + L + W."""
+        part = self.partition_for(key)
+        result = yield from self._execute(
+            rank, part, "insert", (key,), payload_bytes=self._entry_bytes(key)
+        )
+        return result
+
+    def insert_async(self, rank: int, key: Hashable) -> RPCFuture:
+        part = self.partition_for(key)
+        return self._execute_async(
+            rank, part, "insert", (key,), self._entry_bytes(key)
+        )
+
+    def find(self, rank: int, key: Hashable):
+        """bool find(const K&) — membership test."""
+        part = self.partition_for(key)
+        result = yield from self._execute(
+            rank, part, "find", (key,), payload_bytes=self._entry_bytes(key)
+        )
+        return result
+
+    def erase(self, rank: int, key: Hashable):
+        part = self.partition_for(key)
+        result = yield from self._execute(
+            rank, part, "erase", (key,), payload_bytes=self._entry_bytes(key)
+        )
+        return result

@@ -1,0 +1,306 @@
+"""HCL::map and HCL::set — ordered containers (Section III-D2).
+
+Each partition is "an ordered partition, containing the key space" backed by
+a red-black tree; the global key space is split across partitions so that
+partition order equals key order, and in-order traversal concatenates
+partitions.  The comparator defaults to ``operator<`` (``std::less``) and is
+user-overridable, as is the key-space partitioner.
+
+The default partitioner hashes nothing: it range-partitions a configurable
+``key_space`` interval (numeric keys), or falls back to round-robin on key
+length for strings — the paper's "distribute the key-space in a round-robin
+fashion based on the key length".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterator, List, Optional, Tuple
+
+from repro.core.container import DistributedContainer, Partition
+from repro.rpc.future import RPCFuture
+from repro.structures.rbtree import RedBlackTree
+
+__all__ = ["HCLMap", "HCLSet", "range_partitioner", "keylen_partitioner"]
+
+
+def range_partitioner(lo: float, hi: float) -> Callable[[Any, int], int]:
+    """Split numeric keys of ``[lo, hi)`` into equal per-partition ranges."""
+    if not lo < hi:
+        raise ValueError("need lo < hi")
+
+    def pick(key, nparts: int) -> int:
+        if key < lo:
+            return 0
+        if key >= hi:
+            return nparts - 1
+        return int((key - lo) / (hi - lo) * nparts)
+
+    return pick
+
+
+def keylen_partitioner(key, nparts: int) -> int:
+    """Round-robin on key length (strings/sequences), per the paper."""
+    try:
+        return len(key) % nparts
+    except TypeError:
+        return int(key) % nparts
+
+
+class _OrderedContainerBase(DistributedContainer):
+    OPERATIONS = ("insert", "find", "erase", "resize", "range_find",
+                  "min_key", "max_key", "batch", "size")
+
+    def _do_size(self, part: Partition):
+        from repro.structures.stats import OpStats
+
+        return len(part.structure), OpStats(local_ops=1), 8
+
+    def count(self, rank: int):
+        """Generator: total entries across all partitions (fan-out reads)."""
+        futures = [
+            self._execute_async(rank, part, "size", (), 8)
+            for part in self.partitions
+        ]
+        total = 0
+        for fut in futures:
+            yield fut.wait()
+            total += fut.result
+        return total
+
+    def batch(self, rank: int, ops: "list"):
+        """Generator: keyed multi-op (same contract as the hash containers):
+        ``("insert", key, value)`` / ``("find", key)`` / ``("erase", key)``
+        grouped into one invocation per partition."""
+        results = yield from self._keyed_batch(rank, ops)
+        return results
+
+    def __init__(self, runtime, name, partitions,
+                 partitioner: Optional[Callable[[Any, int], int]] = None,
+                 less: Optional[Callable[[Any, Any], bool]] = None,
+                 **kwargs):
+        self._partitioner = partitioner or keylen_partitioner
+        self._less = less or (lambda a, b: a < b)
+        super().__init__(runtime, name, partitions, **kwargs)
+        if self.replication:
+            self._bind_replica_handlers()
+
+    def partition_for(self, key: Hashable) -> Partition:
+        idx = self._partitioner(key, len(self.partitions))
+        if not 0 <= idx < len(self.partitions):
+            raise IndexError(
+                f"partitioner returned {idx} for key {key!r} "
+                f"({len(self.partitions)} partitions)"
+            )
+        return self.partitions[idx]
+
+    # -- resize: Table I gives F + N log(N) (R + W) for the ordered case -----
+    def _do_resize(self, part: Partition, new_bytes: int):
+        from repro.structures.stats import OpStats
+
+        tree: RedBlackTree = part.structure
+        n = len(tree)
+        stats = OpStats(resized=True, resize_entries=n,
+                        local_ops=n * max(1, n.bit_length()))
+        if new_bytes > part.segment.size:
+            part.segment.grow(new_bytes)
+        return True, stats, 128
+
+    def resize(self, rank: int, partition_id: int, new_bytes: int):
+        part = self.partitions[partition_id]
+        result = yield from self._execute(
+            rank, part, "resize", (new_bytes,), payload_bytes=16
+        )
+        return result
+
+    # -- range queries (the ordered containers' reason to exist) -------------
+    def _do_range_find(self, part: Partition, lo, hi, limit):
+        from repro.structures.stats import OpStats
+
+        tree: RedBlackTree = part.structure
+        out = []
+        for k, v in tree.range_items(lo, hi):
+            out.append((k, v))
+            if limit is not None and len(out) >= limit:
+                break
+        n = len(out)
+        stats = OpStats(local_ops=max(1, len(tree)).bit_length() + n,
+                        reads=n)
+        return out, stats, 64
+
+    def _do_min_key(self, part: Partition):
+        from repro.structures.stats import OpStats
+
+        tree: RedBlackTree = part.structure
+        k = tree.min_key()
+        return k, OpStats(local_ops=max(1, len(tree)).bit_length()), 16
+
+    def _do_max_key(self, part: Partition):
+        from repro.structures.stats import OpStats
+
+        tree: RedBlackTree = part.structure
+        k = tree.max_key()
+        return k, OpStats(local_ops=max(1, len(tree)).bit_length()), 16
+
+    def range_find(self, rank: int, lo, hi, limit: Optional[int] = None):
+        """Generator: all ``lo <= key < hi`` items, globally ordered.
+
+        Fans out one ``range_find`` invocation per partition (served in
+        parallel through async futures), then merges.  With an
+        order-preserving partitioner the merge is a concatenation; with a
+        scattering partitioner the results are merge-sorted client-side.
+        """
+        futures = [
+            self._execute_async(rank, part, "range_find", (lo, hi, limit), 32)
+            for part in self.partitions
+        ]
+        chunks = []
+        for fut in futures:
+            yield fut.wait()
+            chunks.append([tuple(item) for item in fut.result])
+        merged: List[Tuple[Hashable, Any]] = []
+        for chunk in chunks:
+            merged.extend(chunk)
+        merged.sort(key=lambda kv: _SortKey(kv[0], self._less))
+        if limit is not None:
+            merged = merged[:limit]
+        return merged
+
+    def min_key(self, rank: int):
+        """Generator: the smallest key across all partitions (or None)."""
+        futures = [
+            self._execute_async(rank, part, "min_key", (), 16)
+            for part in self.partitions
+        ]
+        best = None
+        for fut in futures:
+            yield fut.wait()
+            k = fut.result
+            if k is not None and (best is None or self._less(k, best)):
+                best = k
+        return best
+
+    def max_key(self, rank: int):
+        """Generator: the largest key across all partitions (or None)."""
+        futures = [
+            self._execute_async(rank, part, "max_key", (), 16)
+            for part in self.partitions
+        ]
+        best = None
+        for fut in futures:
+            yield fut.wait()
+            k = fut.result
+            if k is not None and (best is None or self._less(best, k)):
+                best = k
+        return best
+
+    # -- ordered iteration across partitions (tests/apps helper) ----------------
+    def _all_items_sorted(self) -> Iterator[Tuple[Hashable, Any]]:
+        """In-order across the whole container.
+
+        Correct global order requires an order-preserving partitioner
+        (e.g. :func:`range_partitioner`); with the default key-length
+        round-robin it is per-partition order only, like the paper's.
+        """
+        for part in self.partitions:
+            yield from part.structure.items()
+
+
+class _SortKey:
+    """Adapter: total order from the container's ``less`` comparator."""
+
+    __slots__ = ("key", "less")
+
+    def __init__(self, key, less):
+        self.key = key
+        self.less = less
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        return self.less(self.key, other.key)
+
+
+class HCLMap(_OrderedContainerBase):
+    """Distributed ordered map over red-black trees."""
+
+    def _do_insert(self, part: Partition, key, value):
+        entry_bytes = self._entry_bytes(key, value)
+        _new, stats = part.structure.insert(key, value)
+        self._grow_segment_if_resized(part, stats, entry_bytes)
+        return True, stats, entry_bytes
+
+    def _do_find(self, part: Partition, key):
+        value, found, stats = part.structure.find(key)
+        entry_bytes = self._entry_bytes(key, value) if found else 16
+        return (value if found else None, found), stats, entry_bytes
+
+    def _do_erase(self, part: Partition, key):
+        ok, stats = part.structure.remove(key)
+        return ok, stats, 16
+
+    def insert(self, rank: int, key, value):
+        """Table I: F + L·log(N) + W."""
+        part = self.partition_for(key)
+        payload = self._entry_bytes(key, value)
+        result = yield from self._execute(
+            rank, part, "insert", (key, value), payload_bytes=payload
+        )
+        return result
+
+    def insert_async(self, rank: int, key, value) -> RPCFuture:
+        part = self.partition_for(key)
+        return self._execute_async(
+            rank, part, "insert", (key, value), self._entry_bytes(key, value)
+        )
+
+    def find(self, rank: int, key):
+        """Table I: F + L·log(N) + R.  Returns ``(value, found)``."""
+        part = self.partition_for(key)
+        result = yield from self._execute(
+            rank, part, "find", (key,), payload_bytes=self._entry_bytes(key)
+        )
+        return tuple(result)
+
+    def erase(self, rank: int, key):
+        part = self.partition_for(key)
+        result = yield from self._execute(
+            rank, part, "erase", (key,), payload_bytes=self._entry_bytes(key)
+        )
+        return result
+
+
+class HCLSet(_OrderedContainerBase):
+    """Distributed ordered set."""
+
+    def _do_insert(self, part: Partition, key):
+        entry_bytes = self._entry_bytes(key)
+        _new, stats = part.structure.insert(key, True)
+        self._grow_segment_if_resized(part, stats, entry_bytes)
+        return True, stats, entry_bytes
+
+    def _do_find(self, part: Partition, key):
+        found, stats = part.structure.contains(key)
+        return found, stats, self._entry_bytes(key)
+
+    def _do_erase(self, part: Partition, key):
+        ok, stats = part.structure.remove(key)
+        return ok, stats, 16
+
+    def insert(self, rank: int, key):
+        part = self.partition_for(key)
+        result = yield from self._execute(
+            rank, part, "insert", (key,), payload_bytes=self._entry_bytes(key)
+        )
+        return result
+
+    def find(self, rank: int, key):
+        part = self.partition_for(key)
+        result = yield from self._execute(
+            rank, part, "find", (key,), payload_bytes=self._entry_bytes(key)
+        )
+        return result
+
+    def erase(self, rank: int, key):
+        part = self.partition_for(key)
+        result = yield from self._execute(
+            rank, part, "erase", (key,), payload_bytes=self._entry_bytes(key)
+        )
+        return result

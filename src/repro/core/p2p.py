@@ -1,0 +1,167 @@
+"""Point-to-point messaging between rank processes.
+
+The paper's introduction lists "data sharing, and process-to-process
+lock-free synchronizations" among HCL's target workloads.  This module
+provides that primitive — per-rank mailboxes in the global address space —
+and an mpi4py-flavoured facade (:class:`Comm`) so MPI-style code ports
+directly onto the simulated cluster:
+
+::
+
+    comm = Comm(hcl)
+
+    def body(rank):
+        if rank == 0:
+            yield from comm.send({"a": 7}, dest=1, tag=11)
+        elif rank == 1:
+            data = yield from comm.recv(source=0, tag=11)
+
+Transport: a send to a co-located rank goes through shared memory (the
+hybrid model again); a remote send is one RDMA SEND into the target node,
+where a per-node dispatcher moves it into the destination rank's mailbox.
+Receives match on (source, tag) with MPI's ``ANY`` wildcards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.serialization.databox import estimate_size
+from repro.simnet.core import Event
+from repro.simnet.stats import Counter
+
+__all__ = ["Comm", "ANY_SOURCE", "ANY_TAG"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class _Mailbox:
+    """Matching queue for one rank: (source, tag)-filtered receives."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._messages: Deque[Tuple[int, int, Any]] = deque()
+        self._waiters: List[Tuple[int, int, Event]] = []
+
+    def deliver(self, source: int, tag: int, payload: Any) -> None:
+        for i, (want_src, want_tag, event) in enumerate(self._waiters):
+            if ((want_src == ANY_SOURCE or want_src == source)
+                    and (want_tag == ANY_TAG or want_tag == tag)):
+                self._waiters.pop(i)
+                event.succeed((source, tag, payload))
+                return
+        self._messages.append((source, tag, payload))
+
+    def match(self, source: int, tag: int) -> Event:
+        event = Event(self.sim)
+        for i, (msg_src, msg_tag, payload) in enumerate(self._messages):
+            if ((source == ANY_SOURCE or source == msg_src)
+                    and (tag == ANY_TAG or tag == msg_tag)):
+                del self._messages[i]
+                event.succeed((msg_src, msg_tag, payload))
+                return event
+        self._waiters.append((source, tag, event))
+        return event
+
+
+class Comm:
+    """An MPI-communicator-like endpoint set over all ranks of a runtime."""
+
+    def __init__(self, runtime, name: str = "comm"):
+        self.runtime = runtime
+        self.cluster = runtime.cluster
+        self.sim = runtime.sim
+        self.name = name
+        self.size = self.cluster.total_procs
+        self._mailboxes: Dict[int, _Mailbox] = {
+            rank: _Mailbox(self.sim) for rank in range(self.size)
+        }
+        self.messages_sent = Counter(f"{name}/sent")
+        self.local_deliveries = Counter(f"{name}/local")
+        # One delivery handler per node, bound into the RoR registry: a
+        # remote send is an ordinary invocation that posts to the mailbox.
+        for node in self.cluster.nodes:
+            runtime.server(node.node_id).bind(
+                f"{name}.deliver", self._make_deliver_handler()
+            )
+
+    def _make_deliver_handler(self):
+        def deliver(ctx, dest: int, source: int, tag: int, payload):
+            yield ctx.charge_local(2)
+            self._mailboxes[dest].deliver(source, tag, payload)
+            return True
+
+        return deliver
+
+    # -- MPI-flavoured API (generators) -------------------------------------
+    def send(self, payload: Any, dest: int, tag: int = 0, source: int = None,
+             rank: int = None):
+        """Generator: blocking-ish send (returns once delivered).
+
+        ``rank`` (or ``source``) identifies the calling rank — the mpi4py
+        signature has it implicit in the communicator; here processes are
+        coroutines, so the caller passes its own rank.
+        """
+        src = rank if rank is not None else source
+        if src is None:
+            raise ValueError("send() needs the caller's rank (rank=...)")
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range")
+        self.messages_sent.add(1)
+        src_node = self.cluster.node_of_rank(src)
+        dst_node = self.cluster.node_of_rank(dest)
+        if src_node == dst_node:
+            # Hybrid model: co-located ranks exchange through shared memory.
+            self.local_deliveries.add(1)
+            node = self.cluster.node(src_node)
+            yield from node.local_copy(max(estimate_size(payload), 16))
+            self._mailboxes[dest].deliver(src, tag, payload)
+            return
+        client = self.runtime.client(src_node)
+        yield from client.call(
+            dst_node, f"{self.name}.deliver", (dest, src, tag, payload),
+            payload_size=estimate_size(payload) + 24,
+        )
+
+    def isend(self, payload: Any, dest: int, tag: int = 0, rank: int = None):
+        """Non-blocking send; returns a process handle (wait by yielding)."""
+        return self.sim.process(
+            self.send(payload, dest, tag, rank=rank),
+            name=f"isend-{rank}->{dest}",
+        )
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             rank: int = None):
+        """Generator: blocking receive; returns the payload."""
+        if rank is None:
+            raise ValueError("recv() needs the caller's rank (rank=...)")
+        _src, _tag, payload = yield self._mailboxes[rank].match(source, tag)
+        return payload
+
+    def recv_with_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+                         rank: int = None):
+        """Generator: like :meth:`recv` but returns (payload, source, tag)."""
+        if rank is None:
+            raise ValueError("recv() needs the caller's rank (rank=...)")
+        src, t, payload = yield self._mailboxes[rank].match(source, tag)
+        return payload, src, t
+
+    def sendrecv(self, payload: Any, dest: int, source: int = ANY_SOURCE,
+                 tag: int = 0, rank: int = None):
+        """Generator: exchange — send to ``dest``, receive one message."""
+        handle = self.isend(payload, dest, tag, rank=rank)
+        received = yield from self.recv(source=source, tag=tag, rank=rank)
+        yield handle
+        return received
+
+    def probe(self, rank: int, source: int = ANY_SOURCE,
+              tag: int = ANY_TAG) -> bool:
+        """Non-blocking: is a matching message already waiting?"""
+        box = self._mailboxes[rank]
+        return any(
+            (source == ANY_SOURCE or source == s)
+            and (tag == ANY_TAG or tag == t)
+            for s, t, _p in box._messages
+        )

@@ -1,0 +1,131 @@
+"""HCL::queue — the single-partition distributed FIFO (Section III-D3-A).
+
+"HCL queues are implemented as a single-partitioned structure, but are
+globally visible.  The queues are identified by the process ID that hosts
+the partition."  Push/pop (scalar and vector forms, per Table I) route every
+caller to the hosting node; co-located callers take the shared-memory
+bypass, remote callers one RoR invocation.
+
+Dynamic growth: when the queue's estimated footprint exceeds its segment, a
+resize of the hosting partition runs with copy/delete migration semantics —
+**new pushes stall, pops keep being served** (the paper's migration rule),
+modeled by a migration lock that only push handlers take.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.container import DistributedContainer, Partition
+from repro.rpc.future import RPCFuture
+from repro.structures.lfqueue import OptimisticQueue, QueueEmpty
+from repro.structures.stats import OpStats
+
+__all__ = ["HCLQueue"]
+
+
+class HCLQueue(DistributedContainer):
+    """Distributed lock-free FIFO queue."""
+
+    OPERATIONS = ("push", "pop", "push_many", "pop_many", "size")
+
+    def __init__(self, runtime, name, partitions, **kwargs):
+        super().__init__(runtime, name, partitions, **kwargs)
+        if len(self.partitions) != 1:
+            raise ValueError("HCL::queue is single-partitioned")
+        self._migrating = False
+
+    @property
+    def home(self) -> Partition:
+        return self.partitions[0]
+
+    # -- server-side ops -----------------------------------------------------
+    def _maybe_grow(self, part: Partition, entry_bytes: int) -> Optional[OpStats]:
+        """Grow the segment when the queue footprint approaches it."""
+        q: OptimisticQueue = part.structure
+        need = 2 * len(q) * max(64, entry_bytes)
+        if need > part.segment.size:
+            self._migrating = True
+            try:
+                part.segment.grow(max(need, 2 * part.segment.size))
+            finally:
+                self._migrating = False
+            return OpStats(resized=True, resize_entries=len(q))
+        return None
+
+    def _do_push(self, part: Partition, value):
+        entry_bytes = self._entry_bytes(value)
+        stats = part.structure.push(value)
+        grow = self._maybe_grow(part, entry_bytes)
+        if grow is not None:
+            stats = stats.merge(grow)
+        return True, stats, entry_bytes
+
+    def _do_pop(self, part: Partition):
+        try:
+            value, stats = part.structure.pop()
+        except QueueEmpty:
+            return (None, False), OpStats(local_ops=1), 16
+        return (value, True), stats, self._entry_bytes(value)
+
+    def _do_push_many(self, part: Partition, values):
+        entry_bytes = self._entry_bytes(*values) if values else 16
+        stats = part.structure.push_many(values)
+        grow = self._maybe_grow(part, entry_bytes)
+        if grow is not None:
+            stats = stats.merge(grow)
+        return True, stats, max(64, entry_bytes // max(1, len(values)))
+
+    def _do_pop_many(self, part: Partition, count):
+        values, stats = part.structure.pop_many(count)
+        per = self._entry_bytes(*values) // len(values) if values else 16
+        return values, stats, max(16, per)
+
+    def _do_size(self, part: Partition):
+        return len(part.structure), OpStats(local_ops=1), 8
+
+    # -- client API ------------------------------------------------------------
+    def push(self, rank: int, value: Any):
+        """bool push(const T&) — Table I: F + L + W."""
+        result = yield from self._execute(
+            rank, self.home, "push", (value,),
+            payload_bytes=self._entry_bytes(value),
+        )
+        return result
+
+    def push_async(self, rank: int, value: Any) -> RPCFuture:
+        return self._execute_async(
+            rank, self.home, "push", (value,), self._entry_bytes(value)
+        )
+
+    def pop(self, rank: int):
+        """bool pop(T&) — Table I: F + L + R.  Returns ``(value, ok)``."""
+        result = yield from self._execute(
+            rank, self.home, "pop", (), payload_bytes=16
+        )
+        return tuple(result)
+
+    def pop_async(self, rank: int) -> RPCFuture:
+        return self._execute_async(rank, self.home, "pop", (), 16)
+
+    def push_many(self, rank: int, values: Sequence[Any]):
+        """Vector push — Table I: F + L + E·W (one invocation for E items)."""
+        values = list(values)
+        result = yield from self._execute(
+            rank, self.home, "push_many", (values,),
+            payload_bytes=self._entry_bytes(*values) if values else 16,
+        )
+        return result
+
+    def pop_many(self, rank: int, count: int):
+        """Vector pop — Table I: F + L + E·R.  Returns a list (possibly short)."""
+        result = yield from self._execute(
+            rank, self.home, "pop_many", (count,), payload_bytes=16
+        )
+        return list(result)
+
+    def size(self, rank: int):
+        result = yield from self._execute(
+            rank, self.home, "size", (), payload_bytes=8
+        )
+        return result

@@ -1,0 +1,133 @@
+"""Completion queues and non-blocking work requests (ibverbs semantics).
+
+Fig 2 of the paper shows the client learning about its operations through
+completion notifications (``ibv_get_cq_event``, ``IBV_WC_RECV``).  This
+module provides that layer: a :class:`CompletionQueue` collects
+:class:`Completion` entries as posted work requests finish, and
+:meth:`QueuePairAsync.post` turns any (generator) verb into a non-blocking
+work request.
+
+This is also what gives the BCL baseline its *flush* semantics: "Low write
+asynchronicity caused by the necessity of performing a flush operation,
+which forces the callers to serialize updates" (Section I, limitation b) —
+a BCL client can post many operations, but correctness points require
+waiting for every outstanding completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.simnet.core import Event, Simulator
+from repro.simnet.resources import Store
+
+__all__ = ["Completion", "CompletionQueue", "WorkRequest", "QueuePairAsync"]
+
+_wr_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One completion-queue entry (the WC of ibverbs)."""
+
+    wr_id: int
+    ok: bool
+    result: object = None
+    error: Optional[str] = None
+
+
+class CompletionQueue:
+    """FIFO of completions with blocking and non-blocking consumption."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._store = Store(sim, name=name or "cq")
+        self.posted = 0
+        self.completed = 0
+
+    # -- producer side (the NIC) ------------------------------------------
+    def _push(self, completion: Completion) -> None:
+        self.completed += 1
+        self._store.put(completion)
+
+    # -- consumer side -----------------------------------------------------
+    def poll(self) -> Optional[Completion]:
+        """Non-blocking: one completion or None (``ibv_poll_cq``)."""
+        ok, item = self._store.try_get()
+        return item if ok else None
+
+    def wait(self) -> Event:
+        """Event for the next completion (``ibv_get_cq_event``)."""
+        return self._store.get()
+
+    def drain(self, count: int):
+        """Generator: wait for ``count`` completions; returns them all."""
+        out: List[Completion] = []
+        for _ in range(count):
+            completion = yield self._store.get()
+            out.append(completion)
+        return out
+
+    @property
+    def outstanding(self) -> int:
+        return self.posted - self.completed
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class WorkRequest:
+    """Handle for a posted non-blocking verb."""
+
+    __slots__ = ("wr_id", "process")
+
+    def __init__(self, wr_id: int, process):
+        self.wr_id = wr_id
+        self.process = process
+
+    @property
+    def done(self) -> bool:
+        return self.process.triggered
+
+
+class QueuePairAsync:
+    """Non-blocking posting facade over a (synchronous-generator) QueuePair.
+
+    ::
+
+        aqp = QueuePairAsync(cluster.qp(0))
+        wr1 = aqp.post(qp.rdma_write(1, "r", 0, data, 4096))
+        wr2 = aqp.post(qp.cas(1, "r", 0, 0, 1))
+        completions = yield from aqp.flush()   # wait for everything
+    """
+
+    def __init__(self, qp, cq: Optional[CompletionQueue] = None):
+        self.qp = qp
+        self.sim = qp.sim
+        self.cq = cq or CompletionQueue(qp.sim, name=f"cq-n{qp.src_node}")
+
+    def post(self, verb_gen: Generator, wr_id: Optional[int] = None) -> WorkRequest:
+        """Launch a verb without waiting; completion lands in the CQ."""
+        wr = wr_id if wr_id is not None else next(_wr_ids)
+        self.cq.posted += 1
+
+        def runner():
+            try:
+                result = yield from verb_gen
+            except Exception as err:  # noqa: BLE001 - surfaced via the CQ
+                self.cq._push(Completion(wr, ok=False,
+                                         error=f"{type(err).__name__}: {err}"))
+                return
+            self.cq._push(Completion(wr, ok=True, result=result))
+
+        process = self.sim.process(runner(), name=f"wr-{wr}")
+        return WorkRequest(wr, process)
+
+    def flush(self):
+        """Generator: wait for every outstanding completion (the BCL flush)."""
+        pending = self.cq.outstanding + len(self.cq)
+        completions = yield from self.cq.drain(pending)
+        return completions

@@ -1,0 +1,87 @@
+"""Point-to-point link model with cut-through forwarding.
+
+Each node owns one egress and one ingress :class:`~repro.simnet.resources.Resource`
+(its uplink to / downlink from the switch).  A transfer:
+
+1. acquires the source egress channel,
+2. acquires the destination ingress channel (this is where *incast*
+   contention appears — many clients hammering one partition serialize
+   here, which is what saturates the single-partition queue in Fig 6c),
+3. holds both for the wire time of the message, plus propagation and
+   switch latency,
+4. releases both.
+
+Acquisition order is always egress-then-ingress and the two pools are
+disjoint, so no deadlock cycle can form.
+"""
+
+from __future__ import annotations
+
+from repro.config import CostModel
+from repro.simnet.core import Simulator
+from repro.simnet.resources import Resource
+from repro.simnet.stats import Counter
+
+from repro.fabric.packet import Message
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One direction of a node's connection to the switch fabric."""
+
+    def __init__(self, sim: Simulator, cost: CostModel, name: str, lanes: int = 1):
+        self.sim = sim
+        self.cost = cost
+        self.name = name
+        # ``lanes`` > 1 models multi-rail NICs; the paper's testbed is 1x40GbE.
+        self.channel = Resource(sim, capacity=lanes, name=name)
+        self.bytes_total = Counter(name + "/bytes")
+        self.packets_total = Counter(name + "/packets")
+        self.messages_total = Counter(name + "/messages")
+
+    def packet_count(self, msg: Message) -> int:
+        return max(1, -(-msg.wire_size // self.cost.mtu))
+
+    def account(self, msg: Message) -> None:
+        self.bytes_total.add(msg.wire_size)
+        self.packets_total.add(self.packet_count(msg))
+        self.messages_total.add(1)
+
+    def wire_time(self, msg: Message) -> float:
+        return self.cost.transfer_time(msg.wire_size)
+
+
+def transfer(egress: Link, ingress: Link, msg: Message, switch=None):
+    """Generator: move ``msg`` across ``egress`` -> switch -> ``ingress``.
+
+    The channels are held for the *serialization* (wire) time only — that
+    is what bounds throughput and produces incast contention at a hot
+    destination.  Propagation and switch latency are added afterwards,
+    outside the hold, so back-to-back messages pipeline as on real links.
+    An oversubscribed ``switch`` additionally bounds how many transfers can
+    stream through the backplane at once.
+    """
+    cost = egress.cost
+    e_req = egress.channel.request()
+    yield e_req
+    try:
+        i_req = ingress.channel.request()
+        yield i_req
+        try:
+            wire = egress.wire_time(msg)
+            if switch is not None and not switch.is_full_bisection:
+                # Oversubscribed backplane: the serialization time is
+                # spent holding one of the limited switch channels.
+                yield from switch.traverse(wire)
+            else:
+                yield egress.sim.timeout(wire)
+                if switch is not None:
+                    switch.transits.add(1)
+            egress.account(msg)
+            ingress.account(msg)
+        finally:
+            ingress.channel.release(i_req)
+    finally:
+        egress.channel.release(e_req)
+    yield egress.sim.timeout(2 * cost.link_latency + cost.switch_latency)

@@ -1,0 +1,151 @@
+"""Simulated RDMA NIC: cores, work queues, registered memory regions.
+
+The NIC is where the paper's two designs differ:
+
+* **BCL** drives every data-structure mutation with one-sided verbs; remote
+  atomics (CAS) execute on the *target* NIC and serialize per memory region
+  (``MemoryRegion.atomic_lock``), which is limitation (c)/(d) in Section I.
+* **HCL** posts a single SEND carrying an RPC DataBox; the request lands in
+  the NIC's receive work queue (``recv_queue``) and is executed by one of the
+  ``nic_cores`` NIC cores (Fig 2) without involving the host CPU.
+
+Memory regions store *real* Python payloads (``objects``) plus an 8-byte
+word table (``words``) that remote CAS operates on, so the BCL baseline is
+functionally correct, not just timed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.config import CostModel
+from repro.simnet.core import Simulator
+from repro.simnet.resources import Resource, Store
+from repro.simnet.stats import Counter
+from repro.simnet.sync import SimLock
+
+__all__ = ["MemoryRegion", "Nic"]
+
+
+class MemoryRegion:
+    """A registered, remotely-accessible slab of node memory.
+
+    ``objects`` maps offset -> arbitrary payload (the data plane);
+    ``words`` maps offset -> int (the 8-byte atomics plane used by CAS).
+    """
+
+    def __init__(self, sim: Simulator, name: str, size: int):
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        self.sim = sim
+        self.name = name
+        self.size = size
+        self.objects: Dict[int, Any] = {}
+        self.words: Dict[int, int] = {}
+        # Remote atomics to the same region serialize here (paper Sec. I(c)).
+        self.atomic_lock = SimLock(sim, name=f"{name}/atomics")
+        self.cas_attempts = Counter(f"{name}/cas_attempts")
+        self.cas_failures = Counter(f"{name}/cas_failures")
+
+    def read_word(self, offset: int) -> int:
+        return self.words.get(offset, 0)
+
+    def write_word(self, offset: int, value: int) -> None:
+        self.words[offset] = int(value)
+
+    def compare_and_swap(self, offset: int, expected: int, desired: int) -> int:
+        """Atomically CAS the word at ``offset``; returns the *old* value."""
+        self.cas_attempts.add(1)
+        old = self.words.get(offset, 0)
+        if old == expected:
+            self.words[offset] = int(desired)
+        else:
+            self.cas_failures.add(1)
+        return old
+
+    def fetch_add(self, offset: int, delta: int) -> int:
+        old = self.words.get(offset, 0)
+        self.words[offset] = old + int(delta)
+        return old
+
+    def put_object(self, offset: int, payload: Any) -> None:
+        self.objects[offset] = payload
+
+    def get_object(self, offset: int) -> Any:
+        return self.objects.get(offset)
+
+
+class Nic:
+    """NIC of one node: processing cores, work queues, regions, counters."""
+
+    def __init__(self, sim: Simulator, node_id: int, cost: CostModel):
+        self.sim = sim
+        self.node_id = node_id
+        self.cost = cost
+        # Multi-core NIC (BlueField-class); serves verbs *and* RoR RPCs.
+        self.cores = Resource(sim, capacity=cost.nic_cores, name=f"nic{node_id}/cores")
+        # Receive work queue for two-sided SENDs (the RoR request buffer feed).
+        self.recv_queue = Store(sim, name=f"nic{node_id}/recv")
+        self.regions: Dict[str, MemoryRegion] = {}
+        self.verbs_processed = Counter(f"nic{node_id}/verbs")
+        self.rpcs_processed = Counter(f"nic{node_id}/rpcs")
+
+    # -- memory registration ------------------------------------------------
+    def register_region(self, name: str, size: int) -> MemoryRegion:
+        if name in self.regions:
+            raise KeyError(f"region {name!r} already registered on node {self.node_id}")
+        region = MemoryRegion(self.sim, f"n{self.node_id}/{name}", size)
+        self.regions[name] = region
+        return region
+
+    def deregister_region(self, name: str) -> None:
+        self.regions.pop(name, None)
+
+    def region(self, name: str) -> MemoryRegion:
+        try:
+            return self.regions[name]
+        except KeyError:
+            raise KeyError(f"no region {name!r} on node {self.node_id}") from None
+
+    # -- service-time helpers (generators run by verbs layer) -----------------
+    def serve_verb(self, service_time: Optional[float] = None):
+        """Occupy one NIC core for a verb's processing time."""
+        t = self.cost.nic_verb_service if service_time is None else service_time
+        yield from self.cores.use(t)
+        self.verbs_processed.add(1)
+
+    def serve_atomic(self, region: MemoryRegion):
+        """Occupy a NIC core *and* the region's atomic lock for a CAS/FAA.
+
+        Holding the region lock while the atomic executes is the
+        serialization effect the paper's motivating test quantifies.
+        """
+        req = self.cores.request()
+        yield req
+        try:
+            yield region.atomic_lock.acquire()
+            try:
+                yield self.sim.timeout(self.cost.nic_atomic_service)
+            finally:
+                region.atomic_lock.release()
+        finally:
+            self.cores.release(req)
+        self.verbs_processed.add(1)
+
+    # -- observability ----------------------------------------------------------
+    def utilization_probe(self):
+        """Closure for trace.Sampler: windowed NIC-core utilization in %."""
+        state = {"busy": 0.0, "t": self.sim.now}
+
+        def probe() -> float:
+            now = self.sim.now
+            busy = self.cores.busy_time()
+            span = now - state["t"]
+            util = 0.0
+            if span > 0:
+                util = 100.0 * (busy - state["busy"]) / (span * self.cores.capacity)
+            state["busy"] = busy
+            state["t"] = now
+            return util
+
+        return probe

@@ -1,0 +1,61 @@
+"""Wire-level message descriptors.
+
+A :class:`Message` is the unit handed to a :class:`~repro.fabric.link.Link`;
+its ``size`` drives transfer time and packet counting.  ``Verb`` enumerates
+the RDMA operations the simulated NIC understands.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Verb", "Message", "WIRE_HEADER_BYTES"]
+
+#: Per-message header bytes added on the wire (RoCE/IB GRH+BTH ballpark).
+WIRE_HEADER_BYTES = 58
+
+_msg_ids = itertools.count(1)
+
+
+class Verb(enum.Enum):
+    """RDMA verb kinds understood by the simulated NIC."""
+
+    SEND = "send"  # two-sided send into remote recv queue
+    WRITE = "rdma_write"  # one-sided write to a registered region
+    READ = "rdma_read"  # one-sided read from a registered region
+    CAS = "atomic_cas"  # remote compare-and-swap (8-byte granule)
+    FETCH_ADD = "atomic_faa"  # remote fetch-and-add
+
+
+@dataclass
+class Message:
+    """A single fabric transfer.
+
+    ``size`` is payload bytes; wire size adds the header per packet-train.
+    ``payload`` carries the *real* Python data so upper layers stay
+    functional, not just timed.
+    """
+
+    verb: Verb
+    src_node: int
+    dst_node: int
+    size: int
+    payload: Any = None
+    region: Optional[str] = None  # target memory-region key for one-sided ops
+    offset: int = 0
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def __post_init__(self):
+        if self.size < 0:
+            raise ValueError("message size must be non-negative")
+
+    @property
+    def wire_size(self) -> int:
+        return self.size + WIRE_HEADER_BYTES
+
+    @property
+    def is_atomic(self) -> bool:
+        return self.verb in (Verb.CAS, Verb.FETCH_ADD)

@@ -1,0 +1,26 @@
+"""Experiment harness: workloads, sweeps, and paper-style reporting.
+
+Every table and figure bench in ``benchmarks/`` builds on this package:
+
+* :mod:`repro.harness.workload` — sized payloads, key streams, op mixes;
+* :mod:`repro.harness.experiment` — run descriptors, sweep runner,
+  result rows with derived metrics (ops/s, MB/s);
+* :mod:`repro.harness.report` — fixed-width text tables comparing
+  paper-reported values against measured ones, and CSV-ish dumps.
+"""
+
+from repro.harness.workload import Blob, key_stream, WorkloadSpec
+from repro.harness.experiment import ExperimentResult, run_trials, throughput
+from repro.harness.report import render_table, render_series, ratio
+
+__all__ = [
+    "Blob",
+    "key_stream",
+    "WorkloadSpec",
+    "ExperimentResult",
+    "run_trials",
+    "throughput",
+    "render_table",
+    "render_series",
+    "ratio",
+]

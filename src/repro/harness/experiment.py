@@ -1,0 +1,66 @@
+"""Experiment runner utilities.
+
+An experiment run yields an :class:`ExperimentResult` with the simulated
+elapsed time and derived metrics; :func:`run_trials` repeats a factory-built
+experiment with reseeded RNGs and averages, mirroring the paper's "executed
+each test ten times, and we report the average" (scaled down by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.simnet.stats import summarize
+
+__all__ = ["ExperimentResult", "run_trials", "throughput"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of a single experiment run."""
+
+    name: str
+    elapsed: float  # simulated seconds
+    total_ops: int = 0
+    total_bytes: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.total_ops / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def mb_per_second(self) -> float:
+        return self.total_bytes / self.elapsed / 2**20 if self.elapsed > 0 else 0.0
+
+
+def throughput(total_ops: int, elapsed: float) -> float:
+    return total_ops / elapsed if elapsed > 0 else 0.0
+
+
+def run_trials(
+    factory: Callable[[int], ExperimentResult],
+    trials: int = 3,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Run ``factory(seed)`` ``trials`` times; return the averaged result."""
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    results: List[ExperimentResult] = [
+        factory(base_seed + t) for t in range(trials)
+    ]
+    elapsed = summarize([r.elapsed for r in results])
+    avg = ExperimentResult(
+        name=results[0].name,
+        elapsed=elapsed["mean"],
+        total_ops=int(sum(r.total_ops for r in results) / trials),
+        total_bytes=int(sum(r.total_bytes for r in results) / trials),
+    )
+    avg.extra["elapsed_stdev"] = elapsed["stdev"]
+    avg.extra["trials"] = trials
+    # Average any shared extra metrics.
+    keys = set.intersection(*(set(r.extra) for r in results)) if results else set()
+    for key in keys:
+        avg.extra[key] = sum(r.extra[key] for r in results) / trials
+    return avg

@@ -1,0 +1,173 @@
+"""First-fit free-list allocator with coalescing and in-place realloc.
+
+HCL manages partition memory dynamically (Section IV-B1: "HCL manages memory
+dynamically and initializes the target partition with a smaller size.  It
+expands its size as operations are executed").  This allocator provides the
+mechanism: containers ``alloc`` their partition, ``realloc`` on resize, and
+fall back to alloc-copy-free when in-place growth fails — exactly the
+"realloc, else rehash into a new allocation" behaviour of Section III-D1.
+
+Offsets and sizes are plain ints (bytes).  The allocator is deterministic,
+which keeps simulations reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Allocator", "AllocationError"]
+
+
+class AllocationError(MemoryError):
+    """Raised when no free block can satisfy a request."""
+
+
+class Allocator:
+    """First-fit allocator over ``[0, capacity)`` with block coalescing."""
+
+    def __init__(self, capacity: int, alignment: int = 8):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if alignment < 1 or (alignment & (alignment - 1)):
+            raise ValueError("alignment must be a positive power of two")
+        self.capacity = capacity
+        self.alignment = alignment
+        # Sorted list of (offset, size) free blocks.
+        self._free: List[Tuple[int, int]] = [(0, capacity)]
+        # offset -> allocated size
+        self._live: Dict[int, int] = {}
+        self.bytes_allocated = 0
+        self.alloc_count = 0
+        self.failed_allocs = 0
+
+    # -- helpers -------------------------------------------------------------
+    def _round(self, size: int) -> int:
+        a = self.alignment
+        return (size + a - 1) & ~(a - 1)
+
+    # -- API -------------------------------------------------------------------
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the offset."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        need = self._round(size)
+        for i, (off, blk) in enumerate(self._free):
+            if blk >= need:
+                if blk == need:
+                    self._free.pop(i)
+                else:
+                    self._free[i] = (off + need, blk - need)
+                self._live[off] = need
+                self.bytes_allocated += need
+                self.alloc_count += 1
+                return off
+        self.failed_allocs += 1
+        raise AllocationError(
+            f"cannot allocate {size} bytes ({self.bytes_allocated}/"
+            f"{self.capacity} in use, largest free block "
+            f"{max((b for _, b in self._free), default=0)})"
+        )
+
+    def free(self, offset: int) -> None:
+        size = self._live.pop(offset, None)
+        if size is None:
+            raise AllocationError(f"free of unallocated offset {offset}")
+        self.bytes_allocated -= size
+        self._insert_free(offset, size)
+
+    def _insert_free(self, offset: int, size: int) -> None:
+        """Insert a free block, coalescing with neighbours."""
+        free = self._free
+        lo, hi = 0, len(free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if free[mid][0] < offset:
+                lo = mid + 1
+            else:
+                hi = mid
+        # Coalesce with previous block.
+        if lo > 0 and free[lo - 1][0] + free[lo - 1][1] == offset:
+            poff, psize = free[lo - 1]
+            offset, size = poff, psize + size
+            free.pop(lo - 1)
+            lo -= 1
+        # Coalesce with next block.
+        if lo < len(free) and offset + size == free[lo][0]:
+            _noff, nsize = free[lo]
+            size += nsize
+            free.pop(lo)
+        free.insert(lo, (offset, size))
+
+    def realloc(self, offset: int, new_size: int) -> Optional[int]:
+        """Try to grow/shrink the block at ``offset`` **in place**.
+
+        Returns ``offset`` on success or ``None`` if in-place growth is
+        impossible (caller should alloc-copy-free, i.e. "rehash with a new
+        memory allocation" in the paper's words).
+        """
+        old = self._live.get(offset)
+        if old is None:
+            raise AllocationError(f"realloc of unallocated offset {offset}")
+        need = self._round(new_size)
+        if need <= 0:
+            raise ValueError("realloc size must be positive")
+        if need == old:
+            return offset
+        if need < old:
+            self._live[offset] = need
+            self.bytes_allocated -= old - need
+            self._insert_free(offset + need, old - need)
+            return offset
+        # Grow: next free block must be adjacent and large enough.
+        grow = need - old
+        for i, (foff, fsize) in enumerate(self._free):
+            if foff == offset + old:
+                if fsize >= grow:
+                    if fsize == grow:
+                        self._free.pop(i)
+                    else:
+                        self._free[i] = (foff + grow, fsize - grow)
+                    self._live[offset] = need
+                    self.bytes_allocated += grow
+                    return offset
+                return None
+            if foff > offset + old:
+                break
+        return None
+
+    def size_of(self, offset: int) -> int:
+        try:
+            return self._live[offset]
+        except KeyError:
+            raise AllocationError(f"offset {offset} not allocated") from None
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.bytes_allocated
+
+    @property
+    def fragmentation(self) -> float:
+        """1 - (largest free block / total free bytes); 0 when unfragmented."""
+        total = self.free_bytes
+        if total == 0:
+            return 0.0
+        largest = max((b for _, b in self._free), default=0)
+        return 1.0 - largest / total
+
+    def check_invariants(self) -> None:
+        """Validate internal consistency (used by property tests)."""
+        blocks = sorted(
+            [(o, s, "free") for o, s in self._free]
+            + [(o, s, "live") for o, s in self._live.items()]
+        )
+        pos = 0
+        prev_kind = None
+        for off, size, kind in blocks:
+            assert off == pos, f"gap/overlap at {pos}..{off}"
+            assert size > 0
+            if kind == "free":
+                assert prev_kind != "free", "uncoalesced adjacent free blocks"
+            pos = off + size
+            prev_kind = kind
+        assert pos == self.capacity, f"coverage ends at {pos} != {self.capacity}"
+        assert self.bytes_allocated == sum(self._live.values())

@@ -1,0 +1,80 @@
+"""Global address space: cluster-wide names for partition memory.
+
+Consistent with any PGAS implementation, HCL data structures "reside in a
+global address space where multiple processes can access data concurrently"
+(Section I).  A :class:`GlobalPointer` names a byte location anywhere in the
+cluster; the :class:`GlobalAddressSpace` is the registry mapping segment
+names to hosting nodes, and is what gives containers their "globally
+visible" property without any central coordination (registration is
+idempotent and keyed deterministically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.memory.segment import MemorySegment
+
+__all__ = ["GlobalPointer", "GlobalAddressSpace"]
+
+
+@dataclass(frozen=True, order=True)
+class GlobalPointer:
+    """``(node, segment, offset)`` — a cluster-wide address."""
+
+    node: int
+    segment: str
+    offset: int
+
+    def __add__(self, delta: int) -> "GlobalPointer":
+        return GlobalPointer(self.node, self.segment, self.offset + delta)
+
+    def __sub__(self, other) -> int:
+        if isinstance(other, GlobalPointer):
+            if (self.node, self.segment) != (other.node, other.segment):
+                raise ValueError("pointer difference across segments")
+            return self.offset - other.offset
+        return NotImplemented
+
+    def is_local_to(self, node_id: int) -> bool:
+        return self.node == node_id
+
+
+class GlobalAddressSpace:
+    """Registry of segments across the cluster."""
+
+    def __init__(self):
+        self._segments: Dict[Tuple[int, str], MemorySegment] = {}
+
+    def register(self, segment: MemorySegment) -> GlobalPointer:
+        key = (segment.node_id, segment.name)
+        if key in self._segments:
+            raise KeyError(f"segment {key} already registered")
+        self._segments[key] = segment
+        return GlobalPointer(segment.node_id, segment.name, 0)
+
+    def deregister(self, segment: MemorySegment) -> None:
+        self._segments.pop((segment.node_id, segment.name), None)
+
+    def resolve(self, ptr: GlobalPointer) -> MemorySegment:
+        try:
+            return self._segments[(ptr.node, ptr.segment)]
+        except KeyError:
+            raise KeyError(
+                f"no segment {ptr.segment!r} on node {ptr.node}"
+            ) from None
+
+    def segment(self, node: int, name: str) -> Optional[MemorySegment]:
+        return self._segments.get((node, name))
+
+    def segments_on(self, node: int) -> Iterator[MemorySegment]:
+        for (nid, _), seg in self._segments.items():
+            if nid == node:
+                yield seg
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self) -> Iterator[MemorySegment]:
+        return iter(self._segments.values())

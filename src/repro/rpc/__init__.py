@@ -1,0 +1,23 @@
+"""RPC-over-RDMA (RoR) framework — the paper's first contribution.
+
+Reproduces the Fig 2 pipeline:
+
+1. the client stub marshals the call into a DataBox and ``RDMA_SEND``s it
+   into the server's request buffer (the NIC receive work queue);
+2. NIC-core worker loops (:class:`~repro.rpc.server.RpcServer`) pull
+   requests off the work queue, de-marshal, execute the bound function
+   against local memory — *without involving the host CPU* — and place the
+   result in the response buffer;
+3. the client is notified of completion and *pulls* the response with an
+   ``RDMA_READ`` (the client-pull paradigm).
+
+Innovations from the paper carried over: request aggregation on the NIC
+(batch de-marshalling), callback chaining (several dependent operations in
+one invocation), and future-based synchronous/asynchronous execution.
+"""
+
+from repro.rpc.future import RPCFuture, RemoteError
+from repro.rpc.server import RpcServer, RpcContext
+from repro.rpc.client import RpcClient
+
+__all__ = ["RPCFuture", "RemoteError", "RpcServer", "RpcContext", "RpcClient"]

@@ -1,0 +1,140 @@
+"""The client stub (Fig 2, left side).
+
+``invoke()`` marshals the call into a DataBox-sized SEND, fires it at the
+target node's request buffer, and returns an :class:`RPCFuture`
+immediately — asynchronous by default, per Section III-C4.  A detached
+protocol process completes the future:
+
+1. RDMA_SEND of the request (size = marshalled arguments),
+2. wait for the server's completion notification (the ``ibv_get_cq_event``
+   of the paper),
+3. RDMA_READ of the response buffer slot (client-pull),
+4. decode the envelope and settle the future.
+
+``call()`` is the synchronous convenience: ``result = yield from
+client.call(...)``.
+
+The hybrid data access model lives one layer up (``repro.core.container``):
+a container only builds an RpcClient invocation for *remote* partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.rpc.future import RemoteError, RPCFuture
+from repro.rpc.server import RpcRequest, RpcServer
+from repro.serialization.databox import estimate_size
+from repro.simnet.stats import Counter, Histogram
+
+__all__ = ["RpcClient"]
+
+_REQUEST_HEADER_BYTES = 48  # op name, slot, caller id, framing
+
+
+class RpcClient:
+    """Issues RoR invocations from one source node."""
+
+    def __init__(self, cluster, src_node: int, servers: Dict[int, RpcServer]):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.cost = cluster.spec.cost
+        self.src_node = src_node
+        self.servers = servers
+        self.qp = cluster.qp(src_node)
+        self.invocations = Counter(f"rpcc{src_node}/invocations")
+        self.latency = Histogram(f"rpcc{src_node}/latency")
+
+    # -- core API -----------------------------------------------------------
+    def invoke(
+        self,
+        dst_node: int,
+        op: str,
+        args: Sequence[Any] = (),
+        payload_size: Optional[int] = None,
+        callbacks: Optional[List[Tuple[str, Sequence[Any]]]] = None,
+    ) -> RPCFuture:
+        """Fire-and-return: asynchronous invocation of ``op`` on ``dst_node``.
+
+        ``payload_size`` overrides the marshalled-size estimate — containers
+        pass the DataBox wire size of the actual entry so that simulated
+        transfer cost tracks operation size, without re-encoding values.
+        """
+        server = self.servers.get(dst_node)
+        if server is None:
+            raise KeyError(f"no RPC server on node {dst_node}")
+        fut = RPCFuture(self.sim, op)
+        slot, completion = server.allocate_slot()
+        req = RpcRequest(
+            op=op,
+            args=tuple(args),
+            src_node=self.src_node,
+            slot=slot,
+            callbacks=list(callbacks or []),
+        )
+        size = payload_size if payload_size is not None else sum(
+            estimate_size(a) for a in args
+        )
+        size += _REQUEST_HEADER_BYTES
+        self.invocations.add(1)
+        self.sim.process(
+            self._protocol(dst_node, server, req, size, completion, fut),
+            name=f"rpc-{op}-{self.src_node}->{dst_node}",
+        )
+        return fut
+
+    def call(
+        self,
+        dst_node: int,
+        op: str,
+        args: Sequence[Any] = (),
+        payload_size: Optional[int] = None,
+        callbacks: Optional[List[Tuple[str, Sequence[Any]]]] = None,
+    ):
+        """Generator: synchronous invoke — yields until the result arrives."""
+        fut = self.invoke(dst_node, op, args, payload_size, callbacks)
+        yield fut.wait()
+        return fut.result
+
+    def invoke_all(self, targets, op: str, args_of) -> List[RPCFuture]:
+        """Asynchronous fan-out: one invocation per target node.
+
+        ``args_of(node)`` builds per-target arguments.  This is the building
+        block for HCL's "efficient collectives (broadcast, all gather /
+        scatter)".
+        """
+        return [self.invoke(t, op, args_of(t)) for t in targets]
+
+    # -- the wire protocol ---------------------------------------------------
+    def _protocol(self, dst_node, server, req, size, completion, fut):
+        try:
+            # Client stub bookkeeping (marshalling handled as size charge).
+            yield self.sim.timeout(
+                self.cost.rpc_client_overhead + self.cost.serialize(size)
+            )
+            target = self.cluster.node(dst_node)
+            if not target.alive:
+                from repro.fabric.node import NodeDownError
+
+                # A dead target: the QP times out after the retry budget.
+                yield self.sim.timeout(4 * self.cost.link_latency)
+                raise NodeDownError(f"node {dst_node} is down")
+            # 1-2. RDMA_SEND into the request buffer / NIC work queue.
+            yield from self.qp.send(dst_node, req, size)
+            # 3-6. server executes; we learn the response size from the CQE.
+            response_size = yield completion
+            # 7. client pull: RDMA_READ from the response buffer.
+            envelope = yield from self.qp.rdma_read(
+                dst_node, RpcServer.RESPONSE_REGION, req.slot, response_size
+            )
+            if envelope is None:
+                raise RemoteError(req.op, "response slot empty")
+            if not envelope["ok"]:
+                raise RemoteError(req.op, envelope["error"])
+            self.latency.observe(self.sim.now - fut.issued_at)
+            if envelope["callbacks"]:
+                fut._complete((envelope["value"], envelope["callbacks"]))
+            else:
+                fut._complete(envelope["value"])
+        except BaseException as err:  # noqa: BLE001 - settle the future
+            fut._error(err)

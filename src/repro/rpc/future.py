@@ -1,0 +1,92 @@
+"""Futures for asynchronous RPC (Section III-C4).
+
+"Each function invocation creates a future object (much like C++ future and
+wait operations) ... providing synchronous and asynchronous models is a
+matter of timing when the caller waits for the future object."
+
+An :class:`RPCFuture` wraps the kernel event that fires when the response
+has been pulled.  ``yield fut.wait()`` blocks the calling process;
+``fut.done`` polls; ``fut.then(fn)`` chains a local continuation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simnet.core import Event, Simulator
+
+__all__ = ["RPCFuture", "RemoteError"]
+
+
+class RemoteError(RuntimeError):
+    """An exception raised inside a remote handler, re-raised at the caller."""
+
+    def __init__(self, op: str, original: str):
+        super().__init__(f"remote handler {op!r} failed: {original}")
+        self.op = op
+        self.original = original
+
+
+class RPCFuture:
+    """Handle to an in-flight invocation."""
+
+    __slots__ = ("sim", "op", "_event", "issued_at", "completed_at")
+
+    def __init__(self, sim: Simulator, op: str):
+        self.sim = sim
+        self.op = op
+        self._event = Event(sim)
+        self.issued_at = sim.now
+        self.completed_at: Optional[float] = None
+
+    # -- producer side ----------------------------------------------------------
+    def _complete(self, value: Any) -> None:
+        self.completed_at = self.sim.now
+        self._event.succeed(value)
+
+    def _error(self, exc: BaseException) -> None:
+        self.completed_at = self.sim.now
+        self._event.fail(exc)
+
+    # -- consumer side -------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._event.triggered
+
+    def wait(self) -> Event:
+        """The event to ``yield`` on; its value is the RPC result."""
+        return self._event
+
+    @property
+    def result(self) -> Any:
+        if not self.done:
+            raise RuntimeError(f"RPC {self.op!r} not complete; yield wait() first")
+        if not self._event.ok:
+            raise self._event.value
+        return self._event.value
+
+    @property
+    def latency(self) -> float:
+        if self.completed_at is None:
+            raise RuntimeError("future not complete")
+        return self.completed_at - self.issued_at
+
+    def then(self, fn: Callable[[Any], Any]) -> "RPCFuture":
+        """Chain a local continuation; returns a new future of ``fn(result)``."""
+        nxt = RPCFuture(self.sim, f"{self.op}+then")
+
+        def on_done(ev: Event) -> None:
+            if not ev.ok:
+                nxt._error(ev.value)
+                return
+            try:
+                nxt._complete(fn(ev.value))
+            except BaseException as err:
+                nxt._error(err)
+
+        self._event.add_callback(on_done)
+        return nxt
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "done" if self.done else "pending"
+        return f"<RPCFuture {self.op} {state}>"

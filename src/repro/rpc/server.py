@@ -1,0 +1,198 @@
+"""The server stub running on the NIC cores (Fig 2, right side).
+
+Users ``bind()`` functions into the invocation registry.  Worker loops —
+one per NIC core slot — pull requests off the receive work queue, acquire a
+NIC core, de-marshal, execute, and deposit the result in the response
+buffer.  The host CPU resource is *never* touched, which is the RoR design
+point: data-structure ops are "lightweight" enough for NIC cores.
+
+Request aggregation (Section III-B): a worker that pops a request also
+drains up to ``batch_size - 1`` additional queued requests and processes
+them under a single dispatch charge, amortizing de-marshal overhead; this is
+the "opportunity to aggregate multiple instructions before execution".
+
+Handlers can be plain callables or generators; generators may yield
+simulation events (e.g. ``ctx.charge_local(...)``) to model their local
+memory cost, and receive an :class:`RpcContext` first argument.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict, Optional
+
+from repro.fabric.node import Node
+from repro.serialization.databox import estimate_size
+from repro.simnet.stats import Counter, Histogram
+
+__all__ = ["RpcServer", "RpcContext", "RpcRequest"]
+
+
+class RpcRequest:
+    """In-flight request, carried as SEND payload through the fabric."""
+
+    __slots__ = ("op", "args", "src_node", "slot", "response_size_hint", "callbacks")
+
+    def __init__(self, op, args, src_node, slot, response_size_hint=0, callbacks=None):
+        self.op = op
+        self.args = args
+        self.src_node = src_node
+        self.slot = slot
+        self.response_size_hint = response_size_hint
+        self.callbacks = callbacks or []
+
+
+class RpcContext:
+    """Execution context handed to handlers (the 'caller identifier' plus
+    the target memory environment of Section III)."""
+
+    __slots__ = ("server", "node", "sim", "cost", "src_node", "op")
+
+    def __init__(self, server: "RpcServer", src_node: int, op: str):
+        self.server = server
+        self.node = server.node
+        self.sim = server.node.sim
+        self.cost = server.node.cost
+        self.src_node = src_node
+        self.op = op
+
+    # -- cost-charging helpers for generator handlers ------------------------
+    def charge_local(self, ops: int = 1):
+        """Event: ``ops`` local memory operations (the L of Table I)."""
+        return self.sim.timeout(ops * self.cost.local_op)
+
+    def charge_read(self, nbytes: int):
+        """Generator: one local read of ``nbytes`` (the R of Table I)."""
+        yield from self.node.local_read(nbytes)
+
+    def charge_write(self, nbytes: int):
+        """Generator: one local write of ``nbytes`` (the W of Table I)."""
+        yield from self.node.local_copy(nbytes)
+
+    def charge_cas(self, count: int = 1):
+        """Event: ``count`` *local* CAS ops (cheap — the whole point)."""
+        return self.sim.timeout(count * self.cost.cas_local)
+
+
+class RpcServer:
+    """Per-node RoR server: registry + NIC-core worker loops + response buffer."""
+
+    RESPONSE_REGION = "__rpc_responses__"
+    RESPONSE_SLOTS = 1 << 16
+
+    def __init__(self, node: Node, batch_size: int = 1, workers: Optional[int] = None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.node = node
+        self.sim = node.sim
+        self.cost = node.cost
+        self.batch_size = batch_size
+        self.registry: Dict[str, Callable] = {}
+        self.response_region = node.register_region(
+            self.RESPONSE_REGION, self.RESPONSE_SLOTS
+        )
+        self._completions: Dict[int, Any] = {}  # slot -> completion Event
+        self._next_slot = 0
+        self.requests_served = Counter(f"rpc{node.node_id}/served")
+        self.batches = Counter(f"rpc{node.node_id}/batches")
+        self.exec_time = Histogram(f"rpc{node.node_id}/exec")
+        self._stopped = False
+        n_workers = workers if workers is not None else 2 * self.cost.nic_cores
+        for i in range(n_workers):
+            self.sim.process(self._worker_loop(), name=f"rpc-worker-{node.node_id}-{i}")
+
+    # -- registry ---------------------------------------------------------------
+    def bind(self, name: str, fn: Callable) -> None:
+        """Map ``name`` to ``fn`` in the RPC invocation registry."""
+        if name in self.registry:
+            raise KeyError(f"RPC op {name!r} already bound on node {self.node.node_id}")
+        self.registry[name] = fn
+
+    def rebind(self, name: str, fn: Callable) -> None:
+        self.registry[name] = fn
+
+    # -- slots / completions ------------------------------------------------------
+    def allocate_slot(self):
+        """Reserve a response slot; returns ``(slot, completion_event)``."""
+        slot = self._next_slot
+        self._next_slot = (self._next_slot + 1) % self.RESPONSE_SLOTS
+        from repro.simnet.core import Event
+
+        ev = Event(self.sim)
+        self._completions[slot] = ev
+        return slot, ev
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- the NIC-core worker ---------------------------------------------------------
+    def _worker_loop(self):
+        nic = self.node.nic
+        while not self._stopped:
+            msg = yield nic.recv_queue.get()
+            batch = [msg]
+            # Request aggregation: opportunistically drain more requests.
+            while len(batch) < self.batch_size:
+                ok, extra = nic.recv_queue.try_get()
+                if not ok:
+                    break
+                batch.append(extra)
+            core = nic.cores.request()
+            yield core
+            try:
+                # One de-marshal/dispatch charge per batch (aggregation win).
+                yield self.sim.timeout(self.cost.nic_rpc_dispatch)
+                self.batches.add(1)
+                for m in batch:
+                    yield from self._execute(m.payload)
+            finally:
+                nic.cores.release(core)
+
+    def _execute(self, req: RpcRequest):
+        t0 = self.sim.now
+        fn = self.registry.get(req.op)
+        ctx = RpcContext(self, req.src_node, req.op)
+        result: Any
+        failed: Optional[str] = None
+        if fn is None:
+            failed = f"no such op {req.op!r} on node {self.node.node_id}"
+            result = None
+        else:
+            try:
+                result = fn(ctx, *req.args)
+                if inspect.isgenerator(result):
+                    result = yield from result
+            except Exception as err:  # noqa: BLE001 - shipped to caller
+                failed = f"{type(err).__name__}: {err}"
+                result = None
+        # Callback chaining: run follow-on ops server-side, in order.
+        cb_results = []
+        if failed is None:
+            for cb_op, cb_args in req.callbacks:
+                cb_fn = self.registry.get(cb_op)
+                if cb_fn is None:
+                    failed = f"no such callback op {cb_op!r}"
+                    break
+                try:
+                    cb_res = cb_fn(ctx, *cb_args)
+                    if inspect.isgenerator(cb_res):
+                        cb_res = yield from cb_res
+                    cb_results.append(cb_res)
+                except Exception as err:  # noqa: BLE001
+                    failed = f"callback {cb_op}: {type(err).__name__}: {err}"
+                    break
+        envelope = {
+            "ok": failed is None,
+            "error": failed,
+            "value": result,
+            "callbacks": cb_results,
+        }
+        # Deposit the response where the client's RDMA_READ will find it.
+        self.response_region.put_object(req.slot, envelope)
+        self.requests_served.add(1)
+        self.exec_time.observe(self.sim.now - t0)
+        completion = self._completions.pop(req.slot, None)
+        if completion is not None:
+            completion.succeed(
+                max(64, estimate_size(result) + 32 if failed is None else 128)
+            )

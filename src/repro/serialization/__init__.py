@@ -1,0 +1,47 @@
+"""DataBox serialization (Section III-C).
+
+A DataBox "provides mechanisms for defining, serializing, transmitting, and
+storing complex data structures".  This package reproduces that abstraction:
+
+* :class:`~repro.serialization.databox.DataBox` — the envelope: a value,
+  its codec, and fixed/variable-length classification.  Byte-copyable
+  (fixed-size primitive) values skip serialization, as in the paper.
+* Three from-scratch codec backends mirroring HCL's MSGPACK / Cereal /
+  FlatBuffers support:
+
+  - :mod:`repro.serialization.msgpack_like` — a compact tagged binary
+    format compatible in spirit with MessagePack (variable-length, schema
+    free);
+  - :mod:`repro.serialization.cereal_like` — schema-driven struct packing
+    for registered record types (smallest output, fixed layout);
+  - :mod:`repro.serialization.flatbuf_like` — offset-table format allowing
+    field access without full decode (zero-copy flavour).
+
+* A custom-type registry (:func:`register_custom_type`) resolved at
+  runtime, and native support for the standard containers (list, tuple,
+  dict, set, frozenset) — HCL's "native support for STL containers".
+"""
+
+from repro.serialization.databox import (
+    DataBox,
+    get_codec,
+    list_codecs,
+    register_custom_type,
+    SerializationError,
+)
+from repro.serialization.msgpack_like import MsgpackCodec
+from repro.serialization.cereal_like import CerealCodec, record
+from repro.serialization.flatbuf_like import FlatCodec, FlatView
+
+__all__ = [
+    "DataBox",
+    "get_codec",
+    "list_codecs",
+    "register_custom_type",
+    "SerializationError",
+    "MsgpackCodec",
+    "CerealCodec",
+    "record",
+    "FlatCodec",
+    "FlatView",
+]

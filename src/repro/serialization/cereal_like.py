@@ -1,0 +1,174 @@
+"""Schema-driven binary codec in the spirit of the Cereal C++ library.
+
+Cereal serializes C++ structs through compile-time archives: the field
+layout is known statically, so the wire format carries no per-field tags.
+Here, record types declare their schema with the :func:`record` class
+decorator; the codec packs fields positionally with ``struct`` — the
+smallest and fastest layout for *fixed-shape* types, which is why HCL
+resolves fixed- vs variable-length DataBoxes "during compile-time".
+
+Field specs (``fields`` mapping name -> spec):
+
+* ``"i8" / "i16" / "i32" / "i64"``  — signed ints
+* ``"u8" / "u16" / "u32" / "u64"``  — unsigned ints
+* ``"f32" / "f64"``                 — floats
+* ``"bool"``                         — bool
+* ``"str"`` / ``"bytes"``            — length-prefixed variable data
+* another record class               — nested record
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, Type
+
+__all__ = ["record", "CerealCodec", "SchemaError"]
+
+_FIXED_FMT = {
+    "i8": "b", "i16": "h", "i32": "i", "i64": "q",
+    "u8": "B", "u16": "H", "u32": "I", "u64": "Q",
+    "f32": "f", "f64": "d", "bool": "?",
+}
+
+_REGISTRY: Dict[str, Type] = {}
+
+
+class SchemaError(TypeError):
+    """A record schema or value does not match its declaration."""
+
+
+def record(**fields):
+    """Class decorator declaring a Cereal-style schema.
+
+    ::
+
+        @record(key="i64", name="str", score="f64")
+        class Entry:
+            pass
+
+        e = Entry(key=7, name="x", score=1.5)
+    """
+
+    def wrap(cls):
+        for fname, spec in fields.items():
+            if spec not in _FIXED_FMT and spec not in ("str", "bytes") \
+                    and not (isinstance(spec, type) and hasattr(spec, "__cereal_fields__")):
+                raise SchemaError(f"field {fname!r}: unknown spec {spec!r}")
+        cls.__cereal_fields__ = dict(fields)
+        # Fixed-size iff every field is fixed (no str/bytes/nested-variable).
+        cls.__cereal_fixed__ = all(
+            spec in _FIXED_FMT
+            or (isinstance(spec, type) and getattr(spec, "__cereal_fixed__", False))
+            for spec in fields.values()
+        )
+
+        def __init__(self, **kwargs):
+            declared = type(self).__cereal_fields__
+            unknown = set(kwargs) - set(declared)
+            if unknown:
+                raise SchemaError(f"unknown fields {sorted(unknown)}")
+            for fname in declared:
+                if fname not in kwargs:
+                    raise SchemaError(f"missing field {fname!r}")
+                setattr(self, fname, kwargs[fname])
+
+        def __eq__(self, other):
+            if type(other) is not type(self):
+                return NotImplemented
+            return all(
+                getattr(self, f) == getattr(other, f)
+                for f in type(self).__cereal_fields__
+            )
+
+        def __repr__(self):
+            body = ", ".join(
+                f"{f}={getattr(self, f)!r}" for f in type(self).__cereal_fields__
+            )
+            return f"{type(self).__name__}({body})"
+
+        cls.__init__ = __init__
+        cls.__eq__ = __eq__
+        cls.__hash__ = None
+        cls.__repr__ = __repr__
+        _REGISTRY[cls.__name__] = cls
+        return cls
+
+    return wrap
+
+
+def _encode_value(spec, value, out: list) -> None:
+    if spec in _FIXED_FMT:
+        try:
+            out.append(struct.pack("<" + _FIXED_FMT[spec], value))
+        except struct.error as err:
+            raise SchemaError(f"value {value!r} does not fit {spec}: {err}") from None
+    elif spec == "str":
+        raw = value.encode("utf-8")
+        out.append(struct.pack("<I", len(raw)))
+        out.append(raw)
+    elif spec == "bytes":
+        raw = bytes(value)
+        out.append(struct.pack("<I", len(raw)))
+        out.append(raw)
+    else:  # nested record
+        if type(value) is not spec:
+            raise SchemaError(f"expected {spec.__name__}, got {type(value).__name__}")
+        _encode_record(value, out)
+
+
+def _encode_record(obj, out: list) -> None:
+    for fname, spec in type(obj).__cereal_fields__.items():
+        _encode_value(spec, getattr(obj, fname), out)
+
+
+def _decode_value(spec, data: bytes, pos: int):
+    if spec in _FIXED_FMT:
+        fmt = "<" + _FIXED_FMT[spec]
+        size = struct.calcsize(fmt)
+        return struct.unpack_from(fmt, data, pos)[0], pos + size
+    if spec in ("str", "bytes"):
+        (n,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        raw = data[pos:pos + n]
+        if len(raw) != n:
+            raise SchemaError("truncated cereal data")
+        return (raw.decode("utf-8") if spec == "str" else raw), pos + n
+    return _decode_record(spec, data, pos)
+
+
+def _decode_record(cls, data: bytes, pos: int):
+    values = {}
+    for fname, spec in cls.__cereal_fields__.items():
+        values[fname], pos = _decode_value(spec, data, pos)
+    return cls(**values), pos
+
+
+class CerealCodec:
+    """DataBox backend for a single record class."""
+
+    def __init__(self, cls: Type):
+        if not hasattr(cls, "__cereal_fields__"):
+            raise SchemaError(
+                f"{cls.__name__} is not a @record class; declare a schema first"
+            )
+        self.cls = cls
+        self.name = f"cereal[{cls.__name__}]"
+
+    @property
+    def fixed_size(self) -> bool:
+        return self.cls.__cereal_fixed__
+
+    def encode(self, obj: Any) -> bytes:
+        if type(obj) is not self.cls:
+            raise SchemaError(
+                f"codec bound to {self.cls.__name__}, got {type(obj).__name__}"
+            )
+        out: list = []
+        _encode_record(obj, out)
+        return b"".join(out)
+
+    def decode(self, data: bytes) -> Any:
+        obj, pos = _decode_record(self.cls, data, 0)
+        if pos != len(data):
+            raise SchemaError(f"trailing bytes after record ({len(data) - pos})")
+        return obj

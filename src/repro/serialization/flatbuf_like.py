@@ -1,0 +1,118 @@
+"""Offset-table codec in the spirit of FlatBuffers.
+
+FlatBuffers' defining property is *access without unpacking*: the wire
+format is an offset table over field payloads, so a reader can pull one
+field out of a large buffer without decoding the rest.  That matters for a
+data-structure server: a find() handler can compare the key field of a
+stored entry without deserializing the (possibly megabyte) value.
+
+Format (little-endian)::
+
+    u16 field_count
+    field_count x { u32 offset, u32 length, u8 type_tag }
+    payload bytes...
+
+Payloads are encoded with the msgpack-like codec per field, except raw
+``bytes`` which are stored verbatim (type_tag distinguishes).  The
+:class:`FlatView` wrapper exposes lazy field access over the raw buffer.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Sequence
+
+from repro.serialization.msgpack_like import pack as _mp_pack, unpack as _mp_unpack
+
+__all__ = ["FlatCodec", "FlatView"]
+
+_HEADER = struct.Struct("<H")
+_ENTRY = struct.Struct("<IIB")
+
+_TAG_MSGPACK = 0
+_TAG_RAW = 1
+
+
+def _encode_fields(values: Sequence[Any]) -> bytes:
+    n = len(values)
+    if n > 0xFFFF:
+        raise ValueError("too many fields for flat encoding")
+    entries: List[bytes] = []
+    payloads: List[bytes] = []
+    pos = _HEADER.size + n * _ENTRY.size
+    for v in values:
+        if isinstance(v, (bytes, bytearray, memoryview)):
+            raw, tag = bytes(v), _TAG_RAW
+        else:
+            raw, tag = _mp_pack(v), _TAG_MSGPACK
+        entries.append(_ENTRY.pack(pos, len(raw), tag))
+        payloads.append(raw)
+        pos += len(raw)
+    return _HEADER.pack(n) + b"".join(entries) + b"".join(payloads)
+
+
+class FlatView:
+    """Lazy reader over a flat-encoded buffer.
+
+    ``view[i]`` decodes only field ``i``; ``field_bytes(i)`` returns the raw
+    slice with zero decoding.
+    """
+
+    __slots__ = ("data", "_count")
+
+    def __init__(self, data: bytes):
+        if len(data) < _HEADER.size:
+            raise ValueError("buffer too small for flat header")
+        self.data = data
+        (self._count,) = _HEADER.unpack_from(data, 0)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _entry(self, index: int):
+        if not 0 <= index < self._count:
+            raise IndexError(f"field {index} out of range (count {self._count})")
+        return _ENTRY.unpack_from(self.data, _HEADER.size + index * _ENTRY.size)
+
+    def field_bytes(self, index: int) -> bytes:
+        off, length, _tag = self._entry(index)
+        raw = self.data[off:off + length]
+        if len(raw) != length:
+            raise ValueError("truncated flat buffer")
+        return raw
+
+    def __getitem__(self, index: int) -> Any:
+        off, length, tag = self._entry(index)
+        raw = self.data[off:off + length]
+        if len(raw) != length:
+            raise ValueError("truncated flat buffer")
+        if tag == _TAG_RAW:
+            return raw
+        return _mp_unpack(raw)
+
+    def unpack_all(self) -> list:
+        return [self[i] for i in range(self._count)]
+
+
+class FlatCodec:
+    """DataBox backend: encodes a value as a single- or multi-field table.
+
+    Lists/tuples become one field per element (enabling per-field lazy
+    reads); any other value becomes a 1-field table.
+    """
+
+    name = "flat"
+
+    def encode(self, obj: Any) -> bytes:
+        if isinstance(obj, (list, tuple)):
+            return _encode_fields(list(obj))
+        return _encode_fields([obj])
+
+    def decode(self, data: bytes) -> Any:
+        view = FlatView(data)
+        if len(view) == 1:
+            return view[0]
+        return view.unpack_all()
+
+    def view(self, data: bytes) -> FlatView:
+        return FlatView(data)

@@ -1,0 +1,56 @@
+"""Discrete-event simulation kernel used by every substrate in this repo.
+
+``repro.simnet`` is a small, fast, SimPy-flavoured discrete-event simulator:
+coroutine *processes* (Python generators) yield :class:`~repro.simnet.core.Event`
+objects to the :class:`~repro.simnet.core.Simulator`, which resumes them when
+the event fires.  On top of the kernel sit counted resources, stores,
+synchronization primitives, deterministic random-number streams, tracing and
+utilization statistics.
+
+The simulator models *time*; the data manipulated by the higher layers (HCL
+containers, BCL baseline, applications) is real.
+"""
+
+from repro.simnet.core import (
+    Event,
+    Timeout,
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Simulator,
+    SimulationError,
+)
+from repro.simnet.process import Process
+from repro.simnet.resources import Resource, PriorityResource, Store, Container
+from repro.simnet.sync import SimLock, Semaphore, Barrier, Signal
+from repro.simnet.rng import RngRegistry
+from repro.simnet.trace import TimeSeries, Sampler, EventLog
+from repro.simnet.stats import Counter, Gauge, UtilizationMeter, Histogram, summarize
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+    "Process",
+    "Resource",
+    "PriorityResource",
+    "Store",
+    "Container",
+    "SimLock",
+    "Semaphore",
+    "Barrier",
+    "Signal",
+    "RngRegistry",
+    "TimeSeries",
+    "Sampler",
+    "EventLog",
+    "Counter",
+    "Gauge",
+    "UtilizationMeter",
+    "Histogram",
+    "summarize",
+]

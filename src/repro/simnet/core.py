@@ -1,0 +1,284 @@
+"""Event heap and event primitives for the discrete-event simulator.
+
+The kernel follows the classic event-list design: a binary heap of
+``(time, priority, seq, event)`` entries.  An :class:`Event` is a one-shot
+latch; callbacks registered on it run when the simulator pops it off the
+heap.  :class:`~repro.simnet.process.Process` objects are just callbacks that
+resume a generator.
+
+Time is a ``float`` in **seconds**.  All substrates (fabric, memory, rpc)
+charge costs in seconds so that benchmark output is directly comparable with
+the numbers reported in the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. yielding a non-event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    ``cause`` carries an arbitrary payload supplied by the interrupter.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the heap, value decided
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Processes wait on events by ``yield``-ing them.  An event is *triggered*
+    with either a value (:meth:`succeed`) or an exception (:meth:`fail`);
+    once the simulator processes it, all registered callbacks run in
+    registration order.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state = _PENDING
+
+    # -- state inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state >= _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event carries a value (True) or an exception (False)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == _PENDING:
+            raise SimulationError("value of a pending event is undefined")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event with ``value`` after ``delay`` sim-seconds."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._ok = True
+        self._state = _TRIGGERED
+        self.sim._push(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception after ``delay`` sim-seconds."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = exc
+        self._ok = False
+        self._state = _TRIGGERED
+        self.sim._push(self, delay)
+        return self
+
+    # -- kernel hooks ---------------------------------------------------------
+    def _process(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb`` to run when this event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (same semantics as adding a done-callback to a finished
+        future).
+        """
+        if self._state == _PROCESSED:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {0: "pending", 1: "triggered", 2: "processed"}[self._state]
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.9f}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay.  Created via ``sim.timeout``."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._value = value
+        self._ok = True
+        self._state = _TRIGGERED
+        sim._push(self, delay)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values.
+
+    If any child fails, this fails with the first failure.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is ``(index, value)``."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf requires at least one event")
+        for i, ev in enumerate(self._children):
+            ev.add_callback(lambda e, i=i: self._on_child(i, e))
+
+    def _on_child(self, index: int, ev: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+        else:
+            self.succeed((index, ev.value))
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.process(my_generator(sim))
+        sim.run()
+
+    ``run`` executes events until the heap is empty or ``until`` is reached.
+    """
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self.now: float = 0.0
+        self._event_count = 0
+        self._active = True
+
+    # -- event creation helpers ----------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def process(self, generator, name: Optional[str] = None) -> "Process":
+        from repro.simnet.process import Process
+
+        return Process(self, generator, name=name)
+
+    # -- scheduling -----------------------------------------------------------
+    def _push(self, event: Event, delay: float, priority: int = 0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    # -- execution ------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        t, _prio, _seq, event = heapq.heappop(self._heap)
+        if t < self.now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self.now = t
+        self._event_count += 1
+        event._process()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or sim-time passes ``until``."""
+        if until is None:
+            while self._heap:
+                self.step()
+        else:
+            while self._heap and self._heap[0][0] <= until:
+                self.step()
+            if self.now < until:
+                self.now = until
+
+    def run_process(self, generator, name: Optional[str] = None) -> Any:
+        """Convenience: spawn ``generator`` and run the sim to completion.
+
+        Returns the process's return value; re-raises its exception.
+        """
+        proc = self.process(generator, name=name)
+        self.run()
+        if not proc.done:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish (deadlock or starvation)"
+            )
+        return proc.result
+
+    @property
+    def events_processed(self) -> int:
+        return self._event_count

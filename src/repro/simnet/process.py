@@ -1,0 +1,129 @@
+"""Coroutine processes for the simulation kernel.
+
+A process wraps a Python generator.  The generator ``yield``-s
+:class:`~repro.simnet.core.Event` objects; the process registers itself as a
+callback and is resumed with the event's value (or the event's exception is
+thrown into the generator).  Sub-generators compose with ``yield from``.
+
+A :class:`Process` is itself an :class:`Event` that fires when the generator
+returns, carrying the generator's return value — so processes can wait on
+each other by yielding them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.simnet.core import Event, Interrupt, SimulationError, Simulator
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running coroutine inside the simulator."""
+
+    __slots__ = ("_gen", "name", "_waiting_on")
+
+    _counter = 0
+
+    def __init__(self, sim: Simulator, generator: Generator, name: Optional[str] = None):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you call the function instead of passing its generator?"
+            )
+        super().__init__(sim)
+        Process._counter += 1
+        self._gen = generator
+        self.name = name or f"proc-{Process._counter}"
+        self._waiting_on: Optional[Event] = None
+        # Kick off at current sim time via an immediate event so that process
+        # startup is ordered with other scheduled work.
+        start = Event(sim)
+        start.add_callback(self._resume)
+        start.succeed(None)
+
+    # -- lifecycle -------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.triggered
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator; raises its exception if it failed."""
+        if not self.triggered:
+            raise SimulationError(f"process {self.name!r} still running")
+        if not self.ok:
+            raise self.value
+        return self.value
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current sim time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        target = self._waiting_on
+        if target is None:
+            raise SimulationError(
+                f"process {self.name!r} is not waiting; cannot interrupt"
+            )
+        # Detach from the event we were waiting on and schedule the throw.
+        try:
+            target.callbacks.remove(self._resume)
+        except ValueError:
+            pass
+        self._waiting_on = None
+        kick = Event(self.sim)
+        kick.add_callback(lambda ev: self._step(None, Interrupt(cause)))
+        kick.succeed(None)
+
+    # -- kernel plumbing ---------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, None)
+        else:
+            self._step(None, event.value)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is None:
+                target = self._gen.send(value)
+            else:
+                target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self.fail(err)
+            return
+
+        if not isinstance(target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, "
+                "expected an Event"
+            )
+            try:
+                self._gen.throw(error)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as err:
+                self.fail(err)
+            return
+
+        if target.processed:
+            # Already-fired event: reschedule resume immediately to preserve
+            # cooperative fairness (avoid deep recursion on hot loops).  The
+            # guard keeps an interleaved interrupt() from double-resuming.
+            self._waiting_on = target
+            kick = Event(self.sim)
+            kick.add_callback(
+                lambda ev: self._resume(target) if self._waiting_on is target else None
+            )
+            kick.succeed(None)
+        else:
+            self._waiting_on = target
+            target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "running"
+        return f"<Process {self.name} {state}>"

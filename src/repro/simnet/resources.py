@@ -1,0 +1,279 @@
+"""Counted resources, priority resources, stores, and containers.
+
+These model contention points in the simulated cluster:
+
+* :class:`Resource` — ``capacity`` identical servers with a FIFO queue.  NIC
+  cores, CPU cores, and DMA engines are Resources.
+* :class:`PriorityResource` — like Resource but the wait queue is ordered by
+  a caller-supplied priority (lower first).
+* :class:`Store` — an unbounded or bounded FIFO of Python objects with
+  blocking ``get``.  RDMA work queues and request buffers are Stores.
+* :class:`Container` — a continuous level (e.g. bytes of memory) with
+  blocking ``put``/``get``.
+
+Usage from a process::
+
+    req = resource.request()
+    yield req
+    try:
+        yield sim.timeout(service_time)
+    finally:
+        resource.release(req)
+
+or the one-liner ``yield from resource.use(service_time)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.simnet.core import Event, SimulationError, Simulator
+
+__all__ = ["Request", "Resource", "PriorityResource", "Store", "Container"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+
+class Resource:
+    """``capacity`` interchangeable servers with FIFO admission."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._queue: Deque[Request] = deque()
+        # Busy-time accounting for utilization meters.
+        self._busy_integral = 0.0
+        self._last_change = sim.now
+
+    # -- accounting -----------------------------------------------------------
+    def _note_change(self) -> None:
+        now = self.sim.now
+        self._busy_integral += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def busy_time(self) -> float:
+        """Integral of in-use servers over time (server-seconds)."""
+        self._note_change()
+        return self._busy_integral
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of capacity busy over ``[since, now]``."""
+        span = self.sim.now - since
+        if span <= 0:
+            return 0.0
+        return self.busy_time() / (span * self.capacity)
+
+    # -- API --------------------------------------------------------------------
+    def request(self) -> Request:
+        req = Request(self)
+        if self.in_use < self.capacity:
+            self._note_change()
+            self.in_use += 1
+            req.succeed(self)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        if not req.triggered:
+            # Cancelled while queued.
+            try:
+                self._queue.remove(req)
+            except ValueError:
+                raise SimulationError("releasing a request not held or queued")
+            return
+        self._note_change()
+        if self._queue:
+            nxt = self._queue.popleft()
+            nxt.succeed(self)
+            # in_use unchanged: slot handed over.
+        else:
+            self.in_use -= 1
+
+    def use(self, duration: float):
+        """Generator helper: acquire, hold for ``duration``, release."""
+        req = self.request()
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(req)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Resource {self.name or id(self)} {self.in_use}/{self.capacity}"
+            f" q={len(self._queue)}>"
+        )
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served lowest-priority-value first."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        super().__init__(sim, capacity, name)
+        self._pqueue: list[tuple[float, int, Request]] = []
+        self._pseq = 0
+
+    def request(self, priority: float = 0.0) -> Request:  # type: ignore[override]
+        req = Request(self)
+        if self.in_use < self.capacity:
+            self._note_change()
+            self.in_use += 1
+            req.succeed(self)
+        else:
+            self._pseq += 1
+            heapq.heappush(self._pqueue, (priority, self._pseq, req))
+        return req
+
+    def release(self, req: Request) -> None:  # type: ignore[override]
+        if not req.triggered:
+            self._pqueue = [(p, s, r) for (p, s, r) in self._pqueue if r is not req]
+            heapq.heapify(self._pqueue)
+            return
+        self._note_change()
+        if self._pqueue:
+            _p, _s, nxt = heapq.heappop(self._pqueue)
+            nxt.succeed(self)
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pqueue)
+
+    def use(self, duration: float, priority: float = 0.0):
+        req = self.request(priority)
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(req)
+
+
+class Store:
+    """FIFO buffer of items with blocking ``get`` and optional bound on ``put``."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity < 1:
+            raise ValueError("Store capacity must be positive or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.sim)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self._items:
+            item = self._items.popleft()
+            ev.succeed(item)
+            if self._putters:
+                putter, pitem = self._putters.popleft()
+                self._items.append(pitem)
+                putter.succeed(None)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking pop: returns ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                putter, pitem = self._putters.popleft()
+                self._items.append(pitem)
+                putter.succeed(None)
+            return True, item
+        return False, None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Container:
+    """A continuous quantity (bytes, tokens) with blocking put/get."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+        name: str = "",
+    ):
+        if init < 0 or init > capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = init
+        self.name = name
+        self._getters: Deque[tuple[Event, float]] = deque()
+        self._putters: Deque[tuple[Event, float]] = deque()
+        self.peak_level = init
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        ev = Event(self.sim)
+        self._putters.append((ev, amount))
+        self._drain()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        ev = Event(self.sim)
+        self._getters.append((ev, amount))
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if self.level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self.level += amount
+                    self.peak_level = max(self.peak_level, self.level)
+                    ev.succeed(None)
+                    progressed = True
+            if self._getters:
+                ev, amount = self._getters[0]
+                if self.level >= amount:
+                    self._getters.popleft()
+                    self.level -= amount
+                    ev.succeed(None)
+                    progressed = True

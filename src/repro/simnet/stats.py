@@ -1,0 +1,154 @@
+"""Lightweight metric primitives: counters, gauges, histograms, utilization.
+
+Every fabric/RPC/container layer exposes these so that benchmarks can report
+the same observables the paper does (ops/s, MB/s, packets/s, utilization %).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "Gauge", "UtilizationMeter", "Histogram", "summarize"]
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("Counter.add requires non-negative amount")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """Instantaneous value with peak tracking."""
+
+    __slots__ = ("name", "value", "peak")
+
+    def __init__(self, name: str = "", value: float = 0.0):
+        self.name = name
+        self.value = value
+        self.peak = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+
+class UtilizationMeter:
+    """Tracks the busy fraction of a multi-server station over sim time.
+
+    Call ``begin(now)`` when a server starts work and ``end(now)`` when it
+    finishes.  ``utilization(now)`` is busy-server-seconds / (capacity * t).
+    """
+
+    def __init__(self, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._busy = 0
+        self._integral = 0.0
+        self._last = 0.0
+        self._started = None  # first activity timestamp
+
+    def _advance(self, now: float) -> None:
+        self._integral += self._busy * (now - self._last)
+        self._last = now
+
+    def begin(self, now: float) -> None:
+        self._advance(now)
+        self._busy += 1
+        if self._started is None:
+            self._started = now
+
+    def end(self, now: float) -> None:
+        self._advance(now)
+        if self._busy <= 0:
+            raise ValueError("UtilizationMeter.end without matching begin")
+        self._busy -= 1
+
+    def busy_servers(self) -> int:
+        return self._busy
+
+    def utilization(self, now: float, since: float = 0.0) -> float:
+        self._advance(now)
+        span = now - since
+        if span <= 0:
+            return 0.0
+        return self._integral / (span * self.capacity)
+
+
+class Histogram:
+    """Fixed-width-bucket histogram in log2 space, for latencies/sizes."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.counts: Dict[int, int] = {}
+        self.n = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("Histogram.observe requires non-negative value")
+        self.n += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = -64 if value == 0 else int(math.floor(math.log2(value)))
+        self.counts[bucket] = self.counts.get(bucket, 0) + 1
+
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket upper bounds."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0,1]")
+        if self.n == 0:
+            return 0.0
+        target = q * self.n
+        seen = 0
+        for bucket in sorted(self.counts):
+            seen += self.counts[bucket]
+            if seen >= target:
+                return 2.0 ** (bucket + 1) if bucket > -64 else 0.0
+        return self.max or 0.0
+
+
+def summarize(values: List[float]) -> Dict[str, float]:
+    """Mean / min / max / stdev / p50-ish summary of a sample list."""
+    if not values:
+        return {"n": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "stdev": 0.0, "median": 0.0}
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    ordered = sorted(values)
+    mid = n // 2
+    median = ordered[mid] if n % 2 else 0.5 * (ordered[mid - 1] + ordered[mid])
+    return {
+        "n": n,
+        "mean": mean,
+        "min": ordered[0],
+        "max": ordered[-1],
+        "stdev": math.sqrt(var),
+        "median": median,
+    }

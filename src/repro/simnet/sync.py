@@ -1,0 +1,153 @@
+"""Synchronization primitives built on the event kernel.
+
+These model coordination *inside the simulation* — e.g. the per-memory-region
+serialization of RDMA atomic operations (a :class:`SimLock`), or the bulk-
+synchronous barriers that the BCL baseline needs and HCL avoids.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.simnet.core import Event, SimulationError, Simulator
+
+__all__ = ["SimLock", "Semaphore", "Barrier", "Signal"]
+
+
+class SimLock:
+    """A mutex for simulated processes.  FIFO fairness.
+
+    ::
+
+        yield lock.acquire()
+        try:
+            ...
+        finally:
+            lock.release()
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters: Deque[Event] = deque()
+        self.contended_acquires = 0
+        self.total_acquires = 0
+
+    def acquire(self) -> Event:
+        ev = Event(self.sim)
+        self.total_acquires += 1
+        if not self._locked:
+            self._locked = True
+            ev.succeed(None)
+        else:
+            self.contended_acquires += 1
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimulationError(f"release of unlocked SimLock {self.name!r}")
+        if self._waiters:
+            self._waiters.popleft().succeed(None)
+        else:
+            self._locked = False
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def holding(self, duration: float):
+        """Generator helper: acquire, hold ``duration``, release."""
+        yield self.acquire()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release()
+
+
+class Semaphore:
+    """Counting semaphore."""
+
+    def __init__(self, sim: Simulator, value: int = 1, name: str = ""):
+        if value < 0:
+            raise ValueError("semaphore value must be >= 0")
+        self.sim = sim
+        self.name = name
+        self._value = value
+        self._waiters: Deque[Event] = deque()
+
+    def acquire(self) -> Event:
+        ev = Event(self.sim)
+        if self._value > 0:
+            self._value -= 1
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed(None)
+        else:
+            self._value += 1
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Barrier:
+    """Reusable barrier for a fixed party count.
+
+    ``wait()`` returns an event that fires when all parties have arrived.
+    The barrier resets automatically for the next round.
+    """
+
+    def __init__(self, sim: Simulator, parties: int, name: str = ""):
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self.sim = sim
+        self.parties = parties
+        self.name = name
+        self._arrived: list[Event] = []
+        self.generation = 0
+
+    def wait(self) -> Event:
+        ev = Event(self.sim)
+        self._arrived.append(ev)
+        if len(self._arrived) == self.parties:
+            batch, self._arrived = self._arrived, []
+            self.generation += 1
+            gen = self.generation
+            for waiter in batch:
+                waiter.succeed(gen)
+        return ev
+
+
+class Signal:
+    """A broadcast condition: many waiters, one ``fire`` wakes them all.
+
+    Unlike a bare Event, a Signal is reusable: each ``wait()`` gets a fresh
+    event attached to the *current* generation.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._waiters: list[Event] = []
+        self.fire_count = 0
+
+    def wait(self) -> Event:
+        ev = Event(self.sim)
+        self._waiters.append(ev)
+        return ev
+
+    def fire(self, value=None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        batch, self._waiters = self._waiters, []
+        self.fire_count += 1
+        for waiter in batch:
+            waiter.succeed(value)
+        return len(batch)

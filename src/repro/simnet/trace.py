@@ -1,0 +1,122 @@
+"""Tracing and time-series sampling.
+
+Figure 4 of the paper plots NIC-core utilization, memory utilization and
+packet rate *over time* (Intel PAT on the real cluster).  Here a
+:class:`Sampler` process wakes at a fixed interval and records probe values
+into :class:`TimeSeries`; :class:`EventLog` records discrete events with
+timestamps for post-hoc analysis and debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.simnet.core import Simulator
+
+__all__ = ["TimeSeries", "Sampler", "EventLog"]
+
+
+class TimeSeries:
+    """Append-only ``(time, value)`` series with simple reductions."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, t: float, v: float) -> None:
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def last(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def rate_series(self) -> "TimeSeries":
+        """Derivative series: per-second deltas of a cumulative counter."""
+        out = TimeSeries(self.name + "/rate")
+        for i in range(1, len(self.times)):
+            dt = self.times[i] - self.times[i - 1]
+            if dt > 0:
+                out.record(self.times[i], (self.values[i] - self.values[i - 1]) / dt)
+        return out
+
+    def rows(self) -> List[Tuple[float, float]]:
+        return list(zip(self.times, self.values))
+
+
+class Sampler:
+    """Periodic probe runner.
+
+    ``probes`` maps series name -> zero-arg callable returning a float.  The
+    sampler spawns a simulated process that samples every ``interval``
+    sim-seconds until stopped or the sim drains.
+    """
+
+    def __init__(self, sim: Simulator, interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.interval = interval
+        self.probes: Dict[str, Callable[[], float]] = {}
+        self.series: Dict[str, TimeSeries] = {}
+        self._running = False
+        self._stopped = False
+
+    def add_probe(self, name: str, fn: Callable[[], float]) -> TimeSeries:
+        self.probes[name] = fn
+        ts = TimeSeries(name)
+        self.series[name] = ts
+        return ts
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._run(), name="sampler")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def sample_once(self) -> None:
+        t = self.sim.now
+        for name, fn in self.probes.items():
+            self.series[name].record(t, float(fn()))
+
+    def _run(self):
+        while not self._stopped:
+            self.sample_once()
+            yield self.sim.timeout(self.interval)
+
+
+class EventLog:
+    """A bounded structured log of simulation events."""
+
+    def __init__(self, sim: Simulator, limit: Optional[int] = None):
+        self.sim = sim
+        self.limit = limit
+        self.entries: List[Tuple[float, str, Any]] = []
+        self.dropped = 0
+
+    def log(self, kind: str, payload: Any = None) -> None:
+        if self.limit is not None and len(self.entries) >= self.limit:
+            self.dropped += 1
+            return
+        self.entries.append((self.sim.now, kind, payload))
+
+    def of_kind(self, kind: str) -> List[Tuple[float, Any]]:
+        return [(t, p) for (t, k, p) in self.entries if k == kind]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for (_t, k, _p) in self.entries if k == kind)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,262 @@
+"""Cuckoo hash table after Nguyen & Tsigas (lock-free cuckoo hashing).
+
+Two tables, two independent hash functions.  An insert tries its primary
+slot, then its secondary; if both are taken it evicts ("kicks") the primary
+occupant along a relocation chain up to ``MAX_RELOCATIONS``, after which the
+table resizes (doubles) and rehashes — matching Section III-D1: buckets are
+"a single logically contiguous array ... collisions resolved by the
+secondary bucket mechanism", default 128 buckets, load factor 0.75, doubling
+growth.
+
+Per-operation :class:`~repro.structures.stats.OpStats` expose probes,
+relocations and resizes so the simulation charges exactly the work done.
+
+Thread safety: a striped lock array (power-of-two stripes) guards slot
+mutations; lookups are lock-free in the Python sense (a consistent snapshot
+read of one list cell).  The conflict pattern — writers to the same stripe
+serialize, disjoint stripes proceed in parallel — mirrors the lock-free
+algorithm's CAS contention behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable, Iterator, List, Optional, Tuple
+
+from repro.structures.stats import OpStats
+
+__all__ = ["CuckooHash"]
+
+_EMPTY = None
+_GOLDEN64 = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def _hash1(key: Hashable) -> int:
+    return hash(key) & _MASK64
+
+
+def _hash2(key: Hashable) -> int:
+    h = hash(key) & _MASK64
+    # Fibonacci scramble + xor-shift for an independent second hash.
+    h = (h * _GOLDEN64) & _MASK64
+    h ^= h >> 29
+    return h
+
+
+class CuckooHash:
+    """A resizable two-table cuckoo hash map.
+
+    ``hash_fn`` overrides the key distribution (the std::hash override of
+    Section III-D1).
+    """
+
+    DEFAULT_BUCKETS = 128
+    LOAD_FACTOR = 0.75
+    MAX_RELOCATIONS = 16
+    LOCK_STRIPES = 64
+
+    def __init__(self, initial_buckets: int = DEFAULT_BUCKETS, hash_fn=None):
+        if initial_buckets < 2:
+            raise ValueError("need at least 2 buckets")
+        half = max(1, initial_buckets // 2)
+        self._cap = half  # per-table capacity; total buckets = 2 * cap
+        self._t0: List[Optional[Tuple[Hashable, Any]]] = [_EMPTY] * half
+        self._t1: List[Optional[Tuple[Hashable, Any]]] = [_EMPTY] * half
+        self._count = 0
+        self._hash_fn = hash_fn
+        self._locks = [threading.Lock() for _ in range(self.LOCK_STRIPES)]
+        self._resize_lock = threading.Lock()
+        self._orphan: Optional[Tuple[Hashable, Any]] = None
+        self.resizes = 0
+
+    # -- hashing ---------------------------------------------------------------
+    def _h(self, key: Hashable, table: int) -> int:
+        if self._hash_fn is not None:
+            base = self._hash_fn(key) & _MASK64
+            h = base if table == 0 else ((base * _GOLDEN64) & _MASK64) ^ (base >> 31)
+        else:
+            h = _hash1(key) if table == 0 else _hash2(key)
+        return h % self._cap
+
+    def _stripe(self, table: int, index: int) -> threading.Lock:
+        return self._locks[(table * 31 + index) & (self.LOCK_STRIPES - 1)]
+
+    # -- public API -------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def bucket_count(self) -> int:
+        return 2 * self._cap
+
+    @property
+    def load_factor(self) -> float:
+        return self._count / self.bucket_count
+
+    def find(self, key: Hashable) -> Tuple[Optional[Any], bool, OpStats]:
+        """Returns ``(value, found, stats)``; at most two probes.
+
+        Probes compare the slot key (a pointer-sized ``local_op``); only a
+        hit reads the entry payload (one ``R``) — so the charged cost
+        tracks bytes actually moved.
+        """
+        stats = OpStats()
+        for table, arr in ((0, self._t0), (1, self._t1)):
+            stats.local_ops += 1
+            slot = arr[self._h(key, table)]
+            if slot is not _EMPTY and slot[0] == key:
+                stats.reads += 1
+                return slot[1], True, stats
+        return None, False, stats
+
+    def contains(self, key: Hashable) -> Tuple[bool, OpStats]:
+        _v, found, stats = self.find(key)
+        return found, stats
+
+    def insert(self, key: Hashable, value: Any) -> Tuple[bool, OpStats]:
+        """Insert or overwrite.  Returns ``(inserted_new, stats)``.
+
+        ``inserted_new`` reflects whether the key was absent before the call
+        (kept accurate even across a mid-operation resize, where the resize
+        re-count already includes the key placed by a failed kick chain).
+        """
+        stats = OpStats()
+        _v, was_present, probe_stats = self.find(key)
+        stats = stats.merge(probe_stats)
+        while True:
+            done, new = self._try_insert(key, value, stats)
+            if done:
+                if new:
+                    self._count += 1
+                if self._count / (2 * self._cap) > self.LOAD_FACTOR:
+                    self._resize(stats)
+                return not was_present, stats
+            # Relocation chain exhausted: grow and retry.
+            self._resize(stats)
+
+    def _try_insert(self, key, value, stats: OpStats):
+        """One attempt; returns (done, inserted_new)."""
+        # Overwrite path: key already present in either table.
+        for table, arr in ((0, self._t0), (1, self._t1)):
+            i = self._h(key, table)
+            stats.local_ops += 1
+            slot = arr[i]
+            if slot is not _EMPTY and slot[0] == key:
+                with self._stripe(table, i):
+                    stats.cas_ops += 1
+                    stats.writes += 1
+                    arr[i] = (key, value)
+                return True, False
+        # Empty-slot path.
+        for table, arr in ((0, self._t0), (1, self._t1)):
+            i = self._h(key, table)
+            if arr[i] is _EMPTY:
+                with self._stripe(table, i):
+                    if arr[i] is _EMPTY:  # re-check under lock (CAS retry)
+                        stats.cas_ops += 1
+                        stats.writes += 1
+                        arr[i] = (key, value)
+                        return True, True
+                    stats.cas_ops += 1  # failed CAS
+        # Eviction chain: kick the primary occupant.
+        cur = (key, value)
+        table = 0
+        for _ in range(self.MAX_RELOCATIONS):
+            arr = self._t0 if table == 0 else self._t1
+            i = self._h(cur[0], table)
+            with self._stripe(table, i):
+                victim = arr[i]
+                stats.cas_ops += 1
+                stats.writes += 1
+                stats.relocations += 1
+                arr[i] = cur
+            if victim is _EMPTY:
+                return True, True
+            # Note: victim[0] == key can only mean the chain cycled back and
+            # kicked out our own fresh copy (the overwrite path above already
+            # handled genuinely-present keys), so keep relocating it — the
+            # MAX_RELOCATIONS bound turns a true cycle into a resize.
+            cur = victim
+            table ^= 1
+        # Chain too long: put the orphan back via resize path.
+        self._orphan = cur
+        return False, False
+
+    def _resize(self, stats: OpStats) -> None:
+        with self._resize_lock:
+            old_items = list(self.items())
+            orphan = getattr(self, "_orphan", None)
+            self._orphan = None
+            if orphan is not None:
+                old_items.append(orphan)
+            self.resizes += 1
+            stats.resized = True
+            stats.resize_entries += len(old_items)
+            sub = OpStats()
+            while True:
+                if self._cap > 512 * max(16, len(old_items)):
+                    # A hash function that cannot spread keys (e.g. a
+                    # constant) makes cuckoo insertion impossible at any
+                    # capacity; fail loudly instead of doubling forever.
+                    raise RuntimeError(
+                        f"cuckoo resize cannot place {len(old_items)} items "
+                        f"even at capacity {self._cap} — degenerate hash "
+                        "function?"
+                    )
+                self._cap *= 2
+                self._t0 = [_EMPTY] * self._cap
+                self._t1 = [_EMPTY] * self._cap
+                self._count = 0
+                ok = True
+                for k, v in old_items:
+                    done, new = self._try_insert(k, v, sub)
+                    if not done:
+                        self._orphan = None
+                        ok = False
+                        break
+                    if new:
+                        self._count += 1
+                if ok:
+                    return
+
+    def remove(self, key: Hashable) -> Tuple[bool, OpStats]:
+        stats = OpStats()
+        for table, arr in ((0, self._t0), (1, self._t1)):
+            i = self._h(key, table)
+            stats.local_ops += 1
+            slot = arr[i]
+            if slot is not _EMPTY and slot[0] == key:
+                with self._stripe(table, i):
+                    if arr[i] is slot:
+                        stats.cas_ops += 1
+                        stats.writes += 1
+                        arr[i] = _EMPTY
+                        self._count -= 1
+                        return True, stats
+        return False, stats
+
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        for arr in (self._t0, self._t1):
+            for slot in arr:
+                if slot is not _EMPTY:
+                    yield slot
+
+    def keys(self) -> Iterator[Hashable]:
+        for k, _v in self.items():
+            yield k
+
+    def check_invariants(self) -> None:
+        """Every key sits at one of its two hash slots; count matches."""
+        seen = 0
+        for table, arr in ((0, self._t0), (1, self._t1)):
+            for i, slot in enumerate(arr):
+                if slot is _EMPTY:
+                    continue
+                seen += 1
+                k = slot[0]
+                assert self._h(k, table) == i, (
+                    f"key {k!r} in table {table} slot {i}, "
+                    f"expected {self._h(k, table)}"
+                )
+        assert seen == self._count, f"count {self._count} != occupied {seen}"

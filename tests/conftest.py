@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CostModel, ClusterSpec, ares_like
+from repro.core import HCL
+from repro.fabric import Cluster
+from repro.simnet import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def small_spec() -> ClusterSpec:
+    """2 nodes x 4 procs — enough for local/remote path coverage."""
+    return ares_like(nodes=2, procs_per_node=4, seed=7)
+
+
+@pytest.fixture
+def quad_spec() -> ClusterSpec:
+    return ares_like(nodes=4, procs_per_node=4, seed=7)
+
+
+@pytest.fixture
+def cluster(small_spec) -> Cluster:
+    return Cluster(small_spec)
+
+
+@pytest.fixture
+def hcl(small_spec) -> HCL:
+    runtime = HCL(small_spec)
+    yield runtime
+    runtime.close()
+
+
+@pytest.fixture
+def hcl4(quad_spec) -> HCL:
+    runtime = HCL(quad_spec)
+    yield runtime
+    runtime.close()
+
+
+def run_rank0(runtime_or_cluster, gen):
+    """Drive a single generator to completion on the cluster; return result."""
+    cluster = getattr(runtime_or_cluster, "cluster", runtime_or_cluster)
+    proc = cluster.spawn(gen)
+    cluster.run()
+    return proc.result
+
+
+@pytest.fixture
+def drive():
+    return run_rank0

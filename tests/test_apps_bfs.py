@@ -1,0 +1,75 @@
+"""Tests for the distributed BFS kernel."""
+
+import networkx as nx
+import pytest
+
+from repro.apps.bfs import make_graph, run_bfs
+from repro.config import ares_like
+
+
+@pytest.fixture(scope="module")
+def bfs_spec():
+    return ares_like(nodes=2, procs_per_node=3, seed=1)
+
+
+class TestGraphGen:
+    def test_shape(self):
+        g = make_graph(vertices=100, avg_degree=4.0, seed=1)
+        assert g.number_of_nodes() == 100
+        assert g.number_of_edges() > 100
+
+    def test_deterministic(self):
+        a = make_graph(seed=3)
+        b = make_graph(seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestBfs:
+    def test_hcl_matches_networkx(self, bfs_spec):
+        g = make_graph(vertices=120, avg_degree=3.0, seed=5)
+        result = run_bfs("hcl", bfs_spec, g)
+        assert result.verified
+        assert result.levels > 2
+        assert result.reached <= 120
+
+    def test_bcl_matches_networkx(self, bfs_spec):
+        g = make_graph(vertices=120, avg_degree=3.0, seed=5)
+        result = run_bfs("bcl", bfs_spec, g)
+        assert result.verified
+
+    def test_backends_reach_same_set(self, bfs_spec):
+        g = make_graph(vertices=80, avg_degree=2.5, seed=9)
+        h = run_bfs("hcl", bfs_spec, g)
+        b = run_bfs("bcl", bfs_spec, g)
+        assert h.verified and b.verified
+        assert h.reached == b.reached and h.levels == b.levels
+
+    def test_hcl_faster_than_bcl(self, bfs_spec):
+        g = make_graph(vertices=120, avg_degree=3.0, seed=5)
+        h = run_bfs("hcl", bfs_spec, g)
+        b = run_bfs("bcl", bfs_spec, g)
+        assert h.time_seconds < b.time_seconds
+
+    def test_disconnected_components_not_reached(self, bfs_spec):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (1, 2)])
+        g.add_edges_from([(10, 11)])  # island
+        result = run_bfs("hcl", bfs_spec, g)
+        assert result.verified
+        assert result.reached == 3  # 0,1,2 only
+
+    def test_single_vertex(self, bfs_spec):
+        g = nx.Graph()
+        g.add_node(0)
+        result = run_bfs("hcl", bfs_spec, g)
+        assert result.verified and result.reached == 1 and result.levels == 0
+
+    def test_path_graph_depth(self, bfs_spec):
+        g = nx.path_graph(20)
+        result = run_bfs("hcl", bfs_spec, g)
+        assert result.verified
+        assert result.levels == 19
+
+    def test_unknown_backend(self, bfs_spec):
+        with pytest.raises(ValueError):
+            run_bfs("spark", bfs_spec, make_graph(20))

@@ -1,0 +1,65 @@
+"""Containers with non-default DataBox codecs (flat / persistence interplay)."""
+
+import pytest
+
+from repro.config import ares_like
+from repro.core import HCL
+from repro.memory import PersistentLog
+from repro.serialization import DataBox
+
+
+class TestContainerCodecs:
+    def test_flat_codec_container_roundtrip(self, hcl):
+        m = hcl.unordered_map("m", codec="flat")
+
+        def body(rank):
+            yield from m.insert(rank, f"k{rank}", [rank, "payload"])
+            value, found = yield from m.find(rank, f"k{rank}")
+            assert found and value == [rank, "payload"]
+
+        hcl.run_ranks(body)
+
+    def test_flat_codec_persistence_replays(self, small_spec, tmp_path):
+        hcl = HCL(small_spec, persist_dir=str(tmp_path))
+        m = hcl.unordered_map("m", partitions=2, codec="flat",
+                              persistence=True)
+
+        def body(rank):
+            yield from m.insert(rank, f"k{rank}", rank)
+
+        hcl.run_ranks(body)
+        m.close()
+
+        hcl2 = HCL(small_spec, persist_dir=str(tmp_path))
+        m2 = hcl2.unordered_map("m", partitions=2, codec="flat",
+                                persistence=True, recover=True)
+        assert m2.total_entries() == small_spec.total_procs
+
+    def test_persistence_records_decode_with_container_codec(
+            self, small_spec, tmp_path):
+        hcl = HCL(small_spec, persist_dir=str(tmp_path))
+        m = hcl.unordered_map("m", partitions=1, codec="flat",
+                              persistence=True)
+
+        def body(rank):
+            yield from m.insert(rank, f"key{rank}", rank)
+
+        hcl.run_ranks(body, ranks=range(2))
+        m.close()
+        with PersistentLog(str(tmp_path / "m.part0.hcl")) as log:
+            for record in log.records():
+                op, args = DataBox.decode(record.payload, "flat").value
+                assert op == "insert"
+                assert args[0].startswith("key")
+
+    def test_unknown_codec_fails_at_persist(self, small_spec, tmp_path):
+        hcl = HCL(small_spec, persist_dir=str(tmp_path))
+        m = hcl.unordered_map("m", partitions=1, codec="bogus",
+                              persistence=True)
+
+        def body(rank):
+            yield from m.insert(rank, "k", 1)
+
+        # The codec is only exercised when a DataBox must be encoded.
+        with pytest.raises(Exception, match="bogus"):
+            hcl.run_ranks(body, ranks=range(1))

@@ -1,0 +1,185 @@
+"""Tests for point-to-point rank messaging (the mpi4py-flavoured Comm)."""
+
+import pytest
+
+from repro.core import HCL
+from repro.core.p2p import ANY_SOURCE, ANY_TAG, Comm
+
+
+@pytest.fixture
+def comm(hcl):
+    return Comm(hcl)
+
+
+class TestSendRecv:
+    def test_basic_roundtrip(self, hcl, comm):
+        got = {}
+
+        def body(rank):
+            if rank == 0:
+                yield from comm.send({"a": 7, "b": 3.14}, dest=1, tag=11,
+                                     rank=0)
+            elif rank == 1:
+                got["data"] = yield from comm.recv(source=0, tag=11, rank=1)
+            else:
+                yield hcl.sim.timeout(0)
+
+        hcl.run_ranks(body)
+        assert got["data"] == {"a": 7, "b": 3.14}
+
+    def test_recv_before_send_blocks(self, hcl, comm):
+        times = {}
+
+        def receiver(rank):
+            payload = yield from comm.recv(rank=5)
+            times["recv_done"] = hcl.now
+            return payload
+
+        def sender(rank):
+            yield hcl.sim.timeout(50e-6)
+            yield from comm.send("late", dest=5, rank=0)
+
+        procs = [hcl.cluster.spawn(receiver(5)), hcl.cluster.spawn(sender(0))]
+        hcl.cluster.run()
+        assert procs[0].result == "late"
+        assert times["recv_done"] >= 50e-6
+
+    def test_tag_matching(self, hcl, comm):
+        order = []
+
+        def receiver(rank):
+            b = yield from comm.recv(source=0, tag=2, rank=1)
+            order.append(b)
+            a = yield from comm.recv(source=0, tag=1, rank=1)
+            order.append(a)
+
+        def sender(rank):
+            yield from comm.send("tag1", dest=1, tag=1, rank=0)
+            yield from comm.send("tag2", dest=1, tag=2, rank=0)
+
+        hcl.cluster.spawn(receiver(1))
+        hcl.cluster.spawn(sender(0))
+        hcl.cluster.run()
+        assert order == ["tag2", "tag1"]  # matched by tag, not arrival
+
+    def test_any_source_any_tag(self, hcl, comm):
+        got = []
+
+        def receiver(rank):
+            for _ in range(3):
+                payload, src, tag = yield from comm.recv_with_status(
+                    source=ANY_SOURCE, tag=ANY_TAG, rank=7
+                )
+                got.append((src, tag, payload))
+
+        def sender(rank):
+            yield from comm.send(f"msg{rank}", dest=7, tag=rank, rank=rank)
+
+        hcl.cluster.spawn(receiver(7))
+        for r in (0, 3, 5):
+            hcl.cluster.spawn(sender(r))
+        hcl.cluster.run()
+        assert sorted(got) == [(0, 0, "msg0"), (3, 3, "msg3"), (5, 5, "msg5")]
+
+    def test_local_send_uses_shared_memory(self, hcl, comm):
+        """Same-node ranks exchange without any network packets."""
+        before = hcl.cluster.total_packets()
+
+        def body(rank):
+            if rank == 0:
+                yield from comm.send("hi", dest=1, rank=0)  # ranks 0,1: node 0
+            elif rank == 1:
+                yield from comm.recv(source=0, rank=1)
+            else:
+                yield hcl.sim.timeout(0)
+
+        hcl.run_ranks(body)
+        assert hcl.cluster.total_packets() == before
+        assert comm.local_deliveries.value == 1
+
+    def test_remote_send_crosses_fabric(self, hcl, comm):
+        before = hcl.cluster.total_packets()
+
+        def body(rank):
+            if rank == 0:
+                yield from comm.send("hi", dest=6, rank=0)  # node 0 -> node 1
+            elif rank == 6:
+                yield from comm.recv(source=0, rank=6)
+            else:
+                yield hcl.sim.timeout(0)
+
+        hcl.run_ranks(body)
+        assert hcl.cluster.total_packets() > before
+
+    def test_validation(self, hcl, comm):
+        with pytest.raises(ValueError):
+            next(comm.send("x", dest=999, rank=0))
+        with pytest.raises(ValueError):
+            next(comm.send("x", dest=1))  # missing rank
+        with pytest.raises(ValueError):
+            next(comm.recv(source=0))
+
+
+class TestPatterns:
+    def test_ring_pass(self, hcl, comm):
+        """Token circulates rank 0 -> 1 -> ... -> 7 -> 0."""
+        n = hcl.spec.total_procs
+        final = {}
+
+        def body(rank):
+            if rank == 0:
+                yield from comm.send(["r0"], dest=1, rank=0)
+                token = yield from comm.recv(source=n - 1, rank=0)
+                final["token"] = token
+            else:
+                token = yield from comm.recv(source=rank - 1, rank=rank)
+                token.append(f"r{rank}")
+                yield from comm.send(token, dest=(rank + 1) % n, rank=rank)
+
+        hcl.run_ranks(body)
+        assert final["token"] == [f"r{i}" for i in range(n)]
+
+    def test_sendrecv_exchange(self, hcl, comm):
+        got = {}
+
+        def body(rank):
+            if rank in (0, 1):
+                partner = 1 - rank
+                got[rank] = yield from comm.sendrecv(
+                    f"from{rank}", dest=partner, source=partner, rank=rank
+                )
+            else:
+                yield hcl.sim.timeout(0)
+
+        hcl.run_ranks(body)
+        assert got == {0: "from1", 1: "from0"}
+
+    def test_isend_overlaps(self, hcl, comm):
+        def body(rank):
+            if rank == 0:
+                handles = [comm.isend(i, dest=4, tag=i, rank=0)
+                           for i in range(4)]
+                for h in handles:
+                    yield h
+            elif rank == 4:
+                values = []
+                for i in range(4):
+                    values.append((yield from comm.recv(tag=i, rank=4)))
+                assert values == [0, 1, 2, 3]
+            else:
+                yield hcl.sim.timeout(0)
+
+        hcl.run_ranks(body)
+
+    def test_probe(self, hcl, comm):
+        def body(rank):
+            if rank == 0:
+                assert not comm.probe(rank=0)
+                yield from comm.send("x", dest=0, rank=0)  # self-send
+                assert comm.probe(rank=0, source=0)
+                payload = yield from comm.recv(rank=0)
+                assert payload == "x"
+            else:
+                yield hcl.sim.timeout(0)
+
+        hcl.run_ranks(body)

@@ -1,0 +1,207 @@
+"""Tests for HCL::queue and HCL::priority_queue."""
+
+import pytest
+
+from repro.harness import Blob
+
+
+class TestQueue:
+    def test_fifo_roundtrip(self, hcl, drive):
+        q = hcl.queue("q")
+
+        def body():
+            for i in range(5):
+                yield from q.push(0, i)
+            out = []
+            for _ in range(5):
+                value, ok = yield from q.pop(0)
+                assert ok
+                out.append(value)
+            return out
+
+        assert drive(hcl, body()) == [0, 1, 2, 3, 4]
+
+    def test_pop_empty(self, hcl, drive):
+        q = hcl.queue("q")
+
+        def body():
+            return (yield from q.pop(0))
+
+        assert drive(hcl, body()) == (None, False)
+
+    def test_vector_push_pop(self, hcl, drive):
+        q = hcl.queue("q")
+
+        def body():
+            yield from q.push_many(0, list(range(10)))
+            first = yield from q.pop_many(0, 4)
+            rest = yield from q.pop_many(0, 100)
+            n = yield from q.size(0)
+            return first, rest, n
+
+        first, rest, n = drive(hcl, body())
+        assert first == [0, 1, 2, 3]
+        assert rest == [4, 5, 6, 7, 8, 9]
+        assert n == 0
+
+    def test_vector_push_cheaper_than_scalar(self, small_spec):
+        """Table I: F + L + E·W beats E x (F + L + W) — one invocation."""
+        from repro.core import HCL
+
+        def run(vector: bool) -> float:
+            hcl = HCL(small_spec)
+            q = hcl.queue("q", home_node=1)
+
+            def body(rank):
+                items = list(range(32))
+                if vector:
+                    yield from q.push_many(rank, items)
+                else:
+                    for item in items:
+                        yield from q.push(rank, item)
+
+            hcl.run_ranks(body, ranks=range(4))
+            return hcl.now
+
+        assert run(vector=True) < run(vector=False)
+
+    def test_mwmr_from_all_ranks(self, hcl):
+        q = hcl.queue("q", home_node=1)
+
+        def producer(rank):
+            for i in range(8):
+                yield from q.push(rank, (rank, i))
+
+        hcl.run_ranks(producer)
+        popped = []
+
+        def consumer(rank):
+            while True:
+                value, ok = yield from q.pop(rank)
+                if not ok:
+                    break
+                popped.append(tuple(value))
+
+        hcl.run_ranks(consumer, ranks=range(1))
+        assert len(popped) == 64
+        # Per-producer order is preserved in a FIFO.
+        for rank in range(8):
+            mine = [i for r, i in popped if r == rank]
+            assert mine == sorted(mine)
+
+    def test_single_partition_enforced(self, hcl):
+        q = hcl.queue("q", home_node=1)
+        assert len(q.partitions) == 1
+        assert q.home.node_id == 1
+
+    def test_growth_under_load(self, hcl):
+        q = hcl.queue("q")
+        before = q.home.segment.size
+
+        def body(rank):
+            for i in range(40):
+                yield from q.push(rank, Blob(4096))
+
+        hcl.run_ranks(body, ranks=range(4))
+        assert q.home.segment.size > before
+
+    def test_async_push(self, hcl, drive):
+        q = hcl.queue("q", home_node=1)
+
+        def body():
+            futures = [q.push_async(0, i) for i in range(6)]
+            for fut in futures:
+                yield fut.wait()
+            values = yield from q.pop_many(0, 6)
+            return values
+
+        assert sorted(drive(hcl, body())) == list(range(6))
+
+
+class TestPriorityQueue:
+    def test_min_first(self, hcl, drive):
+        pq = hcl.priority_queue("pq", dims=4, base=8)
+
+        def body():
+            for prio, val in ((30, "c"), (10, "a"), (20, "b")):
+                yield from pq.push(0, prio, val)
+            out = []
+            for _ in range(3):
+                entry, ok = yield from pq.pop(0)
+                out.append(entry)
+            return out
+
+        assert drive(hcl, body()) == [(10, "a"), (20, "b"), (30, "c")]
+
+    def test_pop_empty(self, hcl, drive):
+        pq = hcl.priority_queue("pq", dims=4, base=8)
+
+        def body():
+            return (yield from pq.pop(0))
+
+        assert drive(hcl, body()) == (None, False)
+
+    def test_peek(self, hcl, drive):
+        pq = hcl.priority_queue("pq", dims=4, base=8)
+
+        def body():
+            yield from pq.push(0, 5, "x")
+            peeked, ok = yield from pq.peek(0)
+            n = yield from pq.size(0)
+            return peeked, ok, n
+
+        assert drive(hcl, body()) == ((5, "x"), True, 1)
+
+    def test_vector_ops(self, hcl, drive):
+        pq = hcl.priority_queue("pq", dims=4, base=8)
+
+        def body():
+            yield from pq.push_many(0, [(9, "i"), (1, "a"), (5, "e")])
+            return (yield from pq.pop_many(0, 3))
+
+        assert drive(hcl, body()) == [(1, "a"), (5, "e"), (9, "i")]
+
+    def test_sorted_across_ranks(self, hcl):
+        """Concurrent pushes from all ranks still pop in priority order."""
+        pq = hcl.priority_queue("pq", home_node=1, dims=4, base=16)
+
+        def producer(rank):
+            for i in range(8):
+                yield from pq.push(rank, rank * 8 + i, f"{rank}:{i}")
+
+        hcl.run_ranks(producer)
+        out = []
+
+        def consumer(rank):
+            while True:
+                entry, ok = yield from pq.pop(rank)
+                if not ok:
+                    break
+                out.append(entry[0])
+
+        hcl.run_ranks(consumer, ranks=range(1))
+        assert out == sorted(out) and len(out) == 64
+
+    def test_priority_queue_slower_than_fifo(self, small_spec):
+        """Fig 6c: priority queue ~30% slower due to O(log n) pushes."""
+        from repro.core import HCL
+
+        def run(kind):
+            hcl = HCL(small_spec)
+            if kind == "pq":
+                q = hcl.priority_queue("q", home_node=1, dims=8, base=16)
+
+                def body(rank):
+                    for i in range(32):
+                        yield from q.push(rank, rank * 100 + i, None)
+            else:
+                q = hcl.queue("q", home_node=1)
+
+                def body(rank):
+                    for i in range(32):
+                        yield from q.push(rank, rank * 100 + i)
+
+            hcl.run_ranks(body, ranks=range(4))
+            return hcl.now
+
+        assert run("pq") > run("fifo")

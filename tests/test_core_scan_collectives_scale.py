@@ -1,0 +1,135 @@
+"""Tests for the distributed scan API and collectives on rank subsets."""
+
+import pytest
+
+from repro.config import ares_like
+from repro.core import HCL, Collectives
+
+
+class TestScan:
+    def test_scan_single_batch(self, hcl, drive):
+        m = hcl.unordered_map("m", partitions=1, nodes=[1])
+
+        def body():
+            for i in range(5):
+                yield from m.insert(0, i, str(i))
+            items, cursor = yield from m.scan(0, 0, cursor=0, count=100)
+            return items, cursor
+
+        items, cursor = drive(hcl, body())
+        assert dict(items) == {i: str(i) for i in range(5)}
+        assert cursor == -1  # exhausted in one batch
+
+    def test_scan_resumes_from_cursor(self, hcl, drive):
+        m = hcl.unordered_map("m", partitions=1, nodes=[0],
+                              initial_buckets=64)
+
+        def body():
+            for i in range(20):
+                yield from m.insert(0, i, i)
+            all_items = []
+            cursor = 0
+            batches = 0
+            while cursor != -1:
+                items, cursor = yield from m.scan(0, 0, cursor, count=6)
+                all_items.extend(items)
+                batches += 1
+            return all_items, batches
+
+        items, batches = drive(hcl, body())
+        assert dict(items) == {i: i for i in range(20)}
+        assert batches > 1  # genuinely paginated
+
+    def test_collect_all_across_partitions(self, hcl4):
+        m = hcl4.unordered_map("m", partitions=4)
+
+        def write(rank):
+            yield from m.insert(rank, rank, rank * 3)
+
+        hcl4.run_ranks(write)
+
+        def read(rank):
+            return (yield from m.collect_all(rank))
+
+        proc = hcl4.cluster.spawn(read(0))
+        hcl4.cluster.run()
+        assert dict(proc.result) == {r: r * 3 for r in range(16)}
+
+    def test_scan_empty_partition(self, hcl, drive):
+        m = hcl.unordered_map("m", partitions=1, nodes=[1])
+
+        def body():
+            return (yield from m.scan(0, 0))
+
+        items, cursor = drive(hcl, body())
+        assert items == [] and cursor == -1
+
+    def test_scan_is_read_only(self, hcl4):
+        """Scans must not trigger replication fan-out."""
+        m = hcl4.unordered_map("m", partitions=4, replication=1)
+
+        def body(rank):
+            yield from m.collect_all(rank)
+
+        hcl4.run_ranks(body, ranks=range(1))
+        hcl4.cluster.run()
+        assert m.total_entries() == 0
+
+
+class TestCollectivesSubsets:
+    def test_subset_communicator(self, hcl):
+        """A Collectives instance over half the ranks works independently."""
+        team = Collectives(hcl, name="team", ranks=range(0, 4))
+        results = {}
+
+        def member(rank):
+            results[rank] = yield from team.all_reduce(rank, rank)
+
+        def outsider(rank):
+            yield hcl.sim.timeout(0)
+
+        procs = hcl.cluster.spawn_ranks(member, ranks=range(0, 4))
+        procs += hcl.cluster.spawn_ranks(outsider, ranks=range(4, 8))
+        hcl.cluster.run()
+        for p in procs:
+            p.result
+        assert results == {r: 6 for r in range(4)}
+
+    def test_two_disjoint_communicators(self, hcl):
+        a = Collectives(hcl, name="a", ranks=range(0, 4))
+        b = Collectives(hcl, name="b", ranks=range(4, 8))
+        results = {}
+
+        def member_a(rank):
+            results[rank] = yield from a.all_reduce(rank, 1)
+
+        def member_b(rank):
+            results[rank] = yield from b.all_reduce(rank, 10)
+
+        hcl.cluster.spawn_ranks(member_a, ranks=range(0, 4))
+        hcl.cluster.spawn_ranks(member_b, ranks=range(4, 8))
+        hcl.cluster.run()
+        assert all(results[r] == 4 for r in range(4))
+        assert all(results[r] == 40 for r in range(4, 8))
+
+    def test_broadcast_nontrivial_root(self, hcl):
+        coll = Collectives(hcl)
+        got = {}
+
+        def body(rank):
+            got[rank] = yield from coll.broadcast(
+                rank, value="from-5" if rank == 5 else None, root=5
+            )
+
+        hcl.run_ranks(body)
+        assert all(v == "from-5" for v in got.values())
+
+    def test_reduce_with_floats(self, hcl):
+        coll = Collectives(hcl)
+        got = {}
+
+        def body(rank):
+            got[rank] = yield from coll.reduce(rank, 0.5, root=0)
+
+        hcl.run_ranks(body)
+        assert got[0] == pytest.approx(4.0)

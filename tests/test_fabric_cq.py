@@ -1,0 +1,179 @@
+"""Tests for completion queues, async work requests, and BCL flush."""
+
+import numpy as np
+import pytest
+
+from repro.bcl import BCL
+from repro.config import ares_like
+from repro.fabric import Cluster, CompletionQueue, QueuePairAsync
+from repro.serialization.msgpack_like import pack, unpack
+
+
+class TestCompletionQueue:
+    def test_poll_empty_returns_none(self, sim):
+        cq = CompletionQueue(sim)
+        assert cq.poll() is None
+        assert len(cq) == 0
+
+    def test_post_and_poll(self, cluster):
+        cluster.node(1).register_region("r", 1 << 16)
+        qp = cluster.qp(0)
+        aqp = QueuePairAsync(qp)
+        wr = aqp.post(qp.rdma_write(1, "r", 0, "data", 256))
+        assert aqp.cq.outstanding == 1
+        cluster.run()
+        completion = aqp.cq.poll()
+        assert completion is not None and completion.ok
+        assert completion.wr_id == wr.wr_id
+        assert wr.done
+
+    def test_completion_order_and_results(self, cluster):
+        cluster.node(1).register_region("r", 1 << 16)
+        qp = cluster.qp(0)
+        aqp = QueuePairAsync(qp)
+
+        def body():
+            for i in range(4):
+                aqp.post(qp.cas(1, "r", 0, i, i + 1), wr_id=100 + i)
+            completions = yield from aqp.flush()
+            return completions
+
+        completions = cluster.sim.run_process(body())
+        assert len(completions) == 4
+        assert {c.wr_id for c in completions} == {100, 101, 102, 103}
+        assert all(c.ok for c in completions)
+        # CAS results (old values) observed through the CQ: 0,1,2,3.
+        assert sorted(c.result for c in completions) == [0, 1, 2, 3]
+
+    def test_error_surfaces_as_failed_completion(self, cluster):
+        cluster.node(1).register_region("r", 64)
+        qp = cluster.qp(0)
+        aqp = QueuePairAsync(qp)
+        aqp.post(qp.rdma_write(1, "r", 9999, "x", 8))  # out of bounds
+        cluster.run()
+        completion = aqp.cq.poll()
+        assert completion is not None and not completion.ok
+        assert "IndexError" in completion.error
+
+    def test_wait_blocks_until_completion(self, cluster):
+        cluster.node(1).register_region("r", 1 << 16)
+        qp = cluster.qp(0)
+        aqp = QueuePairAsync(qp)
+
+        def body():
+            aqp.post(qp.rdma_write(1, "r", 0, "x", 4096))
+            completion = yield aqp.cq.wait()
+            return completion.ok, cluster.sim.now > 0
+
+        ok, time_passed = cluster.sim.run_process(body())
+        assert ok and time_passed
+
+    def test_overlapped_posts_faster_than_serial(self, small_spec):
+        def run(overlapped):
+            cluster = Cluster(small_spec)
+            cluster.node(1).register_region("r", 1 << 20)
+            qp = cluster.qp(0)
+            aqp = QueuePairAsync(qp)
+
+            def body():
+                if overlapped:
+                    for i in range(8):
+                        aqp.post(qp.rdma_write(1, "r", i, None, 65536))
+                    yield from aqp.flush()
+                else:
+                    for i in range(8):
+                        yield from qp.rdma_write(1, "r", i, None, 65536)
+
+            cluster.sim.run_process(body())
+            return cluster.sim.now
+
+        assert run(True) < run(False)
+
+
+class TestBclFlush:
+    def test_insert_nb_plus_flush(self, small_spec):
+        bcl = BCL(small_spec)
+        m = bcl.hashmap("m", capacity_per_partition=1024, entry_size=128)
+
+        def body(rank):
+            for i in range(8):
+                m.insert_nb(rank, (rank, i), i)
+            yield from m.flush(rank)
+            # After the flush every write is visible.
+            for i in range(8):
+                value, found = yield from m.find(rank, (rank, i))
+                assert found and value == i
+
+        procs = bcl.cluster.spawn_ranks(body, ranks=range(4))
+        bcl.cluster.run()
+        for p in procs:
+            p.result
+
+    def test_flush_reports_failures(self, small_spec):
+        bcl = BCL(small_spec)
+        m = bcl.hashmap("m", capacity_per_partition=2, entry_size=64,
+                        partitions=1, max_probes=2)
+
+        def body(rank):
+            for i in range(6):  # overflows the 2-bucket static table
+                m.insert_nb(rank, i, i)
+            yield from m.flush(rank)
+
+        proc = bcl.cluster.spawn(body(0))
+        bcl.cluster.run()
+        with pytest.raises(RuntimeError, match="flush"):
+            proc.result
+
+    def test_flush_is_a_synchronization_point(self, small_spec):
+        """Posting is ~free; the flush is where the time goes (limitation b)."""
+        bcl = BCL(small_spec)
+        m = bcl.hashmap("m", capacity_per_partition=1024, entry_size=4096)
+        marks = {}
+
+        def body(rank):
+            t0 = bcl.sim.now
+            for i in range(16):
+                m.insert_nb(rank, (rank, i), i)
+            marks["posted"] = bcl.sim.now - t0
+            yield from m.flush(rank)
+            marks["flushed"] = bcl.sim.now - t0
+
+        proc = bcl.cluster.spawn(body(0))
+        bcl.cluster.run()
+        proc.result
+        assert marks["posted"] == 0.0  # non-blocking posts
+        assert marks["flushed"] > 0.0
+
+
+class TestNumpySerialization:
+    @pytest.mark.parametrize("arr", [
+        np.arange(10, dtype=np.int64),
+        np.linspace(0, 1, 7, dtype=np.float32),
+        np.zeros((3, 4), dtype=np.float64),
+        np.array([], dtype=np.int32),
+        np.arange(24, dtype=np.uint8).reshape(2, 3, 4),
+    ], ids=lambda a: f"{a.dtype}-{a.shape}")
+    def test_roundtrip(self, arr):
+        out = unpack(pack(arr))
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == arr.dtype and out.shape == arr.shape
+        assert np.array_equal(out, arr)
+
+    def test_nested_in_containers(self):
+        value = {"weights": np.ones(5), "meta": [np.int64(3), "x"]}
+        out = unpack(pack(value))
+        assert np.array_equal(out["weights"], np.ones(5))
+
+    def test_databox_carries_arrays(self):
+        from repro.serialization import DataBox
+
+        arr = np.arange(100, dtype=np.float64)
+        box = DataBox(arr)
+        out = DataBox.decode(box.encode()).value
+        assert np.array_equal(out, arr)
+
+    def test_estimate_size_uses_nbytes(self):
+        from repro.serialization.databox import estimate_size
+
+        arr = np.zeros(1000, dtype=np.float64)
+        assert estimate_size(arr) == 16 + 8000

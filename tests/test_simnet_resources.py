@@ -1,0 +1,256 @@
+"""Tests for Resource, PriorityResource, Store, and Container."""
+
+import pytest
+
+from repro.simnet import Resource, PriorityResource, Store, Container, Simulator
+from repro.simnet.core import SimulationError
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_immediate_grant_within_capacity(self, sim):
+        res = Resource(sim, capacity=2)
+        r1, r2 = res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert res.in_use == 2
+
+    def test_queueing_and_handover(self, sim):
+        res = Resource(sim, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        assert r1.triggered and not r2.triggered
+        assert res.queue_length == 1
+        res.release(r1)
+        assert r2.triggered
+        assert res.in_use == 1
+
+    def test_fifo_order(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(i):
+            req = res.request()
+            yield req
+            order.append(i)
+            yield sim.timeout(1.0)
+            res.release(req)
+
+        for i in range(4):
+            sim.process(worker(i))
+        sim.run()
+        assert order == [0, 1, 2, 3]
+        assert sim.now == 4.0
+
+    def test_use_helper_serializes(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            yield from res.use(2.0)
+
+        for _ in range(3):
+            sim.process(worker())
+        sim.run()
+        assert sim.now == 6.0
+
+    def test_parallel_capacity(self, sim):
+        res = Resource(sim, capacity=3)
+
+        def worker():
+            yield from res.use(2.0)
+
+        for _ in range(3):
+            sim.process(worker())
+        sim.run()
+        assert sim.now == 2.0
+
+    def test_cancel_queued_request(self, sim):
+        res = Resource(sim, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        res.release(r2)  # cancel while queued
+        assert res.queue_length == 0
+        res.release(r1)
+        assert res.in_use == 0
+
+    def test_release_unknown_raises(self, sim):
+        res = Resource(sim, capacity=1)
+        other = Resource(sim, capacity=1)
+        req = other.request()
+        other.release(req)
+        from repro.simnet.resources import Request
+
+        stray = Request(res)
+        with pytest.raises(SimulationError):
+            res.release(stray)
+
+    def test_utilization_accounting(self, sim):
+        res = Resource(sim, capacity=2)
+
+        def worker():
+            yield from res.use(4.0)
+
+        sim.process(worker())
+        sim.run()
+        # one of two servers busy for the whole window
+        assert res.utilization() == pytest.approx(0.5)
+        assert res.busy_time() == pytest.approx(4.0)
+
+
+class TestPriorityResource:
+    def test_priority_order(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        order = []
+
+        def worker(name, prio):
+            req = res.request(prio)
+            yield req
+            order.append(name)
+            yield sim.timeout(1.0)
+            res.release(req)
+
+        def spawn_all():
+            # Occupy, then queue out-of-order priorities.
+            req = res.request(0)
+            yield req
+            sim.process(worker("low", 5))
+            sim.process(worker("high", 1))
+            sim.process(worker("mid", 3))
+            yield sim.timeout(1.0)
+            res.release(req)
+
+        sim.process(spawn_all())
+        sim.run()
+        assert order == ["high", "mid", "low"]
+
+    def test_cancel_queued(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        r1 = res.request(0)
+        r2 = res.request(1)
+        res.release(r2)
+        assert res.queue_length == 0
+        res.release(r1)
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+
+        def body():
+            yield store.put("a")
+            yield store.put("b")
+            x = yield store.get()
+            y = yield store.get()
+            return x, y
+
+        assert sim.run_process(body()) == ("a", "b")
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(5.0)
+            yield store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(5.0, "late")]
+
+    def test_bounded_put_blocks(self, sim):
+        store = Store(sim, capacity=1)
+        events = []
+
+        def producer():
+            yield store.put(1)
+            events.append(("put1", sim.now))
+            yield store.put(2)
+            events.append(("put2", sim.now))
+
+        def consumer():
+            yield sim.timeout(3.0)
+            item = yield store.get()
+            events.append(("got", item, sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert ("put1", 0.0) in events
+        assert ("put2", 3.0) in events
+
+    def test_try_get(self, sim):
+        store = Store(sim)
+        ok, item = store.try_get()
+        assert not ok and item is None
+        store.put("x")
+        ok, item = store.try_get()
+        assert ok and item == "x"
+        assert len(store) == 0
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+
+class TestContainer:
+    def test_level_tracking(self, sim):
+        c = Container(sim, capacity=100, init=10)
+
+        def body():
+            yield c.put(40)
+            yield c.get(25)
+
+        sim.process(body())
+        sim.run()
+        assert c.level == 25
+        assert c.peak_level == 50
+
+    def test_get_blocks_until_available(self, sim):
+        c = Container(sim, capacity=100)
+        times = []
+
+        def getter():
+            yield c.get(10)
+            times.append(sim.now)
+
+        def putter():
+            yield sim.timeout(2.0)
+            yield c.put(10)
+
+        sim.process(getter())
+        sim.process(putter())
+        sim.run()
+        assert times == [2.0]
+
+    def test_put_blocks_at_capacity(self, sim):
+        c = Container(sim, capacity=10, init=10)
+        times = []
+
+        def putter():
+            yield c.put(5)
+            times.append(sim.now)
+
+        def getter():
+            yield sim.timeout(1.0)
+            yield c.get(5)
+
+        sim.process(putter())
+        sim.process(getter())
+        sim.run()
+        assert times == [1.0]
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            Container(sim, capacity=10, init=20)
+        c = Container(sim, capacity=10)
+        with pytest.raises(ValueError):
+            c.put(-1)
+        with pytest.raises(ValueError):
+            c.get(-1)

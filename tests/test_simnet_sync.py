@@ -1,0 +1,185 @@
+"""Tests for SimLock, Semaphore, Barrier, and Signal."""
+
+import pytest
+
+from repro.simnet import Barrier, Semaphore, Signal, SimLock
+from repro.simnet.core import SimulationError
+
+
+class TestSimLock:
+    def test_mutual_exclusion(self, sim):
+        lock = SimLock(sim)
+        inside = []
+
+        def worker(i):
+            yield lock.acquire()
+            inside.append(("enter", i, sim.now))
+            yield sim.timeout(1.0)
+            inside.append(("exit", i, sim.now))
+            lock.release()
+
+        for i in range(3):
+            sim.process(worker(i))
+        sim.run()
+        # Critical sections must not overlap.
+        intervals = [(e[2], x[2]) for e, x in zip(inside[::2], inside[1::2])]
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+
+    def test_release_unlocked_raises(self, sim):
+        lock = SimLock(sim)
+        with pytest.raises(SimulationError):
+            lock.release()
+
+    def test_contention_counters(self, sim):
+        lock = SimLock(sim)
+
+        def worker():
+            yield from lock.holding(1.0)
+
+        for _ in range(4):
+            sim.process(worker())
+        sim.run()
+        assert lock.total_acquires == 4
+        assert lock.contended_acquires == 3
+        assert not lock.locked
+
+    def test_fifo_fairness(self, sim):
+        lock = SimLock(sim)
+        order = []
+
+        def worker(i):
+            yield lock.acquire()
+            order.append(i)
+            yield sim.timeout(0.5)
+            lock.release()
+
+        for i in range(5):
+            sim.process(worker(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestSemaphore:
+    def test_counting(self, sim):
+        sem = Semaphore(sim, value=2)
+        active = []
+        peak = []
+
+        def worker():
+            yield sem.acquire()
+            active.append(1)
+            peak.append(len(active))
+            yield sim.timeout(1.0)
+            active.pop()
+            sem.release()
+
+        for _ in range(5):
+            sim.process(worker())
+        sim.run()
+        assert max(peak) == 2
+        assert sem.value == 2
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            Semaphore(sim, value=-1)
+
+    def test_release_wakes_waiter(self, sim):
+        sem = Semaphore(sim, value=0)
+        woke = []
+
+        def waiter():
+            yield sem.acquire()
+            woke.append(sim.now)
+
+        def releaser():
+            yield sim.timeout(2.0)
+            sem.release()
+
+        sim.process(waiter())
+        sim.process(releaser())
+        sim.run()
+        assert woke == [2.0]
+
+
+class TestBarrier:
+    def test_all_parties_released_together(self, sim):
+        barrier = Barrier(sim, parties=3)
+        released = []
+
+        def worker(i):
+            yield sim.timeout(float(i))
+            gen = yield barrier.wait()
+            released.append((i, sim.now, gen))
+
+        for i in range(3):
+            sim.process(worker(i))
+        sim.run()
+        assert all(t == 2.0 for _i, t, _g in released)
+        assert all(g == 1 for _i, _t, g in released)
+
+    def test_reusable_generations(self, sim):
+        barrier = Barrier(sim, parties=2)
+        gens = []
+
+        def worker():
+            for _ in range(3):
+                g = yield barrier.wait()
+                gens.append(g)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert sorted(gens) == [1, 1, 2, 2, 3, 3]
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            Barrier(sim, parties=0)
+
+
+class TestSignal:
+    def test_broadcast(self, sim):
+        signal = Signal(sim)
+        got = []
+
+        def waiter(i):
+            value = yield signal.wait()
+            got.append((i, value))
+
+        for i in range(3):
+            sim.process(waiter(i))
+
+        def firer():
+            yield sim.timeout(1.0)
+            n = signal.fire("go")
+            assert n == 3
+
+        sim.process(firer())
+        sim.run()
+        assert sorted(got) == [(0, "go"), (1, "go"), (2, "go")]
+
+    def test_fire_with_no_waiters(self, sim):
+        signal = Signal(sim)
+        assert signal.fire() == 0
+        assert signal.fire_count == 1
+
+    def test_new_waiters_need_new_fire(self, sim):
+        signal = Signal(sim)
+        got = []
+
+        def round1():
+            v = yield signal.wait()
+            got.append(("r1", v))
+            v = yield signal.wait()
+            got.append(("r2", v))
+
+        def firer():
+            yield sim.timeout(1.0)
+            signal.fire(1)
+            yield sim.timeout(1.0)
+            signal.fire(2)
+
+        sim.process(round1())
+        sim.process(firer())
+        sim.run()
+        assert got == [("r1", 1), ("r2", 2)]

@@ -1,0 +1,161 @@
+"""Tests for the red-black tree."""
+
+import random
+
+import pytest
+
+from repro.structures import RedBlackTree
+
+
+class TestBasics:
+    def test_insert_find(self):
+        t = RedBlackTree()
+        new, stats = t.insert(5, "five")
+        assert new and stats.writes == 1
+        value, found, fstats = t.find(5)
+        assert found and value == "five"
+        assert fstats.local_ops >= 1
+
+    def test_overwrite(self):
+        t = RedBlackTree()
+        t.insert(5, "a")
+        new, _ = t.insert(5, "b")
+        assert not new
+        assert t.find(5)[0] == "b"
+        assert len(t) == 1
+
+    def test_remove(self):
+        t = RedBlackTree()
+        for k in (5, 3, 8):
+            t.insert(k, k)
+        ok, _ = t.remove(3)
+        assert ok and len(t) == 2
+        assert not t.find(3)[1]
+        assert not t.remove(99)[0]
+        t.check_invariants()
+
+    def test_min_max(self):
+        t = RedBlackTree()
+        assert t.min_key() is None and t.max_key() is None
+        for k in (5, 1, 9, 3):
+            t.insert(k, k)
+        assert t.min_key() == 1 and t.max_key() == 9
+
+    def test_sorted_iteration(self):
+        t = RedBlackTree()
+        keys = [7, 3, 9, 1, 5, 8, 2]
+        for k in keys:
+            t.insert(k, str(k))
+        assert [k for k, _v in t.items()] == sorted(keys)
+
+    def test_range_items(self):
+        t = RedBlackTree()
+        for k in range(20):
+            t.insert(k, k)
+        assert [k for k, _v in t.range_items(5, 10)] == [5, 6, 7, 8, 9]
+
+    def test_contains(self):
+        t = RedBlackTree()
+        t.insert("x", 1)
+        assert t.contains("x")[0]
+        assert not t.contains("y")[0]
+
+
+class TestBalance:
+    def test_sequential_insert_stays_logarithmic(self):
+        """Sorted insertion is the classic BST worst case; RB must balance."""
+        t = RedBlackTree()
+        for k in range(1024):
+            t.insert(k, k)
+        t.check_invariants()
+        _v, _f, stats = t.find(1023)
+        # Height of an RB tree with n=1024 is <= 2*log2(n+1) = 20.
+        assert stats.local_ops <= 20
+
+    def test_rotations_counted(self):
+        t = RedBlackTree()
+        for k in range(100):
+            t.insert(k, k)
+        assert t.rotations_total > 0
+
+    def test_find_cost_grows_logarithmically(self):
+        """The L·log(N) of Table I."""
+        t = RedBlackTree()
+        costs = {}
+        for n in (64, 4096):
+            while len(t) < n:
+                t.insert(len(t), None)
+            total = 0
+            for k in range(0, n, max(1, n // 64)):
+                _v, _f, stats = t.find(k)
+                total += stats.local_ops
+            costs[n] = total / (n / max(1, n // 64))
+        # 64x more entries must cost ~log ratio (~2x), far below linear (64x).
+        assert costs[4096] <= costs[64] * 4
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_invariants_under_churn(self, seed):
+        rng = random.Random(seed)
+        t = RedBlackTree()
+        ref = {}
+        for i in range(3000):
+            op = rng.random()
+            k = rng.randrange(700)
+            if op < 0.55:
+                new, _ = t.insert(k, k)
+                assert new == (k not in ref)
+                ref[k] = k
+            elif op < 0.8:
+                assert t.find(k)[1] == (k in ref)
+            else:
+                assert t.remove(k)[0] == (k in ref)
+                ref.pop(k, None)
+            if i % 500 == 499:
+                t.check_invariants()
+        t.check_invariants()
+        assert list(t.items()) == sorted(ref.items())
+
+
+class TestComparators:
+    def test_custom_less_reverses_order(self):
+        """The std::less override of Section III-D2."""
+        t = RedBlackTree(less=lambda a, b: a > b)
+        for k in (3, 1, 2):
+            t.insert(k, k)
+        assert [k for k, _v in t.items()] == [3, 2, 1]
+        assert t.find(2)[1]
+        t.check_invariants()
+
+    def test_tuple_keys(self):
+        t = RedBlackTree()
+        t.insert((1, "b"), 1)
+        t.insert((1, "a"), 2)
+        t.insert((0, "z"), 3)
+        assert [k for k, _v in t.items()] == [(0, "z"), (1, "a"), (1, "b")]
+
+    def test_string_keys(self):
+        t = RedBlackTree()
+        for s in ("pear", "apple", "mango"):
+            t.insert(s, s)
+        assert t.min_key() == "apple" and t.max_key() == "pear"
+
+
+class TestDeletion:
+    def test_delete_all_in_varied_orders(self):
+        for order in (list(range(64)), list(range(63, -1, -1))):
+            t = RedBlackTree()
+            for k in range(64):
+                t.insert(k, k)
+            for k in order:
+                assert t.remove(k)[0]
+            assert len(t) == 0
+            t.check_invariants()
+
+    def test_delete_root_repeatedly(self):
+        t = RedBlackTree()
+        for k in range(32):
+            t.insert(k, k)
+        while len(t):
+            root_key = t._root.key
+            assert t.remove(root_key)[0]
+            t.check_invariants()

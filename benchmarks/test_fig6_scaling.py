@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, scaled
 from repro.bcl import BCL
 from repro.config import KB, ares_like
 from repro.core import HCL
@@ -38,6 +38,7 @@ QOPS = 16
 
 
 def _hcl_map_run(partitions: int, ordered: bool):
+    ops = scaled(OPS)
     spec = ares_like(nodes=CLUSTER_NODES, procs_per_node=PROCS)
     hcl = HCL(spec)
     if ordered:
@@ -45,26 +46,27 @@ def _hcl_map_run(partitions: int, ordered: bool):
                     partitioner=lambda k, n: k * n // (1 << 30))
     else:
         c = hcl.unordered_map("c", partitions=partitions,
-                              initial_buckets=8 * PROCS * OPS)
+                              initial_buckets=8 * PROCS * ops)
     blob = Blob(SIZE)
 
     def insert_body(rank):
-        for key in key_stream(rank, OPS, seed=3):
+        for key in key_stream(rank, ops, seed=3):
             yield from c.insert(rank, key, blob)
 
     def find_body(rank):
-        for key in key_stream(rank, OPS, seed=3):
+        for key in key_stream(rank, ops, seed=3):
             yield from c.find(rank, key)
 
     hcl.run_ranks(insert_body)
     t_ins = hcl.now
     hcl.run_ranks(find_body)
     t_fnd = hcl.now - t_ins
-    total = spec.total_procs * OPS
+    total = spec.total_procs * ops
     return total / t_ins, total / t_fnd
 
 
 def _hcl_set_run(partitions: int, ordered: bool):
+    ops = scaled(OPS)
     spec = ares_like(nodes=CLUSTER_NODES, procs_per_node=PROCS)
     hcl = HCL(spec)
     if ordered:
@@ -73,40 +75,41 @@ def _hcl_set_run(partitions: int, ordered: bool):
                     less=lambda a, b: a.tag < b.tag)
     else:
         c = hcl.unordered_set("c", partitions=partitions,
-                              initial_buckets=8 * PROCS * OPS)
+                              initial_buckets=8 * PROCS * ops)
 
     # Set elements are the full-size keys themselves: the 7-14% gap to
     # maps comes from dropping the value/bucket overhead, not the payload.
     def insert_body(rank):
-        for key in key_stream(rank, OPS, seed=3):
+        for key in key_stream(rank, ops, seed=3):
             yield from c.insert(rank, Blob(SIZE, tag=key))
 
     def find_body(rank):
-        for key in key_stream(rank, OPS, seed=3):
+        for key in key_stream(rank, ops, seed=3):
             yield from c.find(rank, Blob(SIZE, tag=key))
 
     hcl.run_ranks(insert_body)
     t_ins = hcl.now
     hcl.run_ranks(find_body)
     t_fnd = hcl.now - t_ins
-    total = spec.total_procs * OPS
+    total = spec.total_procs * ops
     return total / t_ins, total / t_fnd
 
 
 def _bcl_map_run(partitions: int):
+    ops = scaled(OPS)
     spec = ares_like(nodes=CLUSTER_NODES, procs_per_node=PROCS)
     bcl = BCL(spec)
     # Static sizing at ~0.75 load factor (the operating point a loaded
     # BCL table runs at): linear-probe chains on finds read whole
     # fixed-size buckets — BCL's find penalty in Fig 6a.
-    capacity = int(CLUSTER_NODES * PROCS * OPS / partitions / 0.75) + 2
+    capacity = int(CLUSTER_NODES * PROCS * ops / partitions / 0.75) + 2
     m = bcl.hashmap("c", capacity_per_partition=capacity,
                     entry_size=SIZE, partitions=partitions, inflight_slots=64,
                     max_probes=capacity)
     blob = Blob(SIZE)
 
     def insert_body(rank):
-        for key in key_stream(rank, OPS, seed=3):
+        for key in key_stream(rank, ops, seed=3):
             yield from m.insert(rank, key, blob)
 
     procs = bcl.cluster.spawn_ranks(insert_body)
@@ -116,7 +119,7 @@ def _bcl_map_run(partitions: int):
     t_ins = bcl.sim.now
 
     def find_body(rank):
-        for key in key_stream(rank, OPS, seed=3):
+        for key in key_stream(rank, ops, seed=3):
             yield from m.find(rank, key)
 
     procs = bcl.cluster.spawn_ranks(find_body)
@@ -124,7 +127,7 @@ def _bcl_map_run(partitions: int):
     for p in procs:
         p.result
     t_fnd = bcl.sim.now - t_ins
-    total = spec.total_procs * OPS
+    total = spec.total_procs * ops
     return total / t_ins, total / t_fnd
 
 
@@ -205,16 +208,17 @@ def test_fig6b_set_scaling(benchmark, report):
 
 
 def _queue_run(clients: int, kind: str):
+    qops = scaled(QOPS)
     nodes = max(2, clients // 16 + 1)
     spec = ares_like(nodes=nodes, procs_per_node=-(-clients // nodes))
     if kind == "bcl":
         bcl = BCL(spec)
-        q = bcl.queue("q", capacity=4 * clients * QOPS, entry_size=SIZE,
+        q = bcl.queue("q", capacity=4 * clients * qops, entry_size=SIZE,
                       home_node=0, inflight_slots=16)
         blob = Blob(SIZE)
 
         def push_body(rank):
-            for _ in range(QOPS):
+            for _ in range(qops):
                 yield from q.push(rank, blob)
 
         procs = bcl.cluster.spawn_ranks(push_body, ranks=range(clients))
@@ -224,7 +228,7 @@ def _queue_run(clients: int, kind: str):
         t_push = bcl.sim.now
 
         def pop_body(rank):
-            for _ in range(QOPS):
+            for _ in range(qops):
                 yield from q.pop(rank)
 
         procs = bcl.cluster.spawn_ranks(pop_body, ranks=range(clients))
@@ -232,7 +236,7 @@ def _queue_run(clients: int, kind: str):
         for p in procs:
             p.result
         t_pop = bcl.sim.now - t_push
-        total = clients * QOPS
+        total = clients * qops
         return total / t_push, total / t_pop
 
     hcl = HCL(spec)
@@ -240,28 +244,28 @@ def _queue_run(clients: int, kind: str):
         q = hcl.queue("q", home_node=0)
 
         def push_body(rank):
-            for i in range(QOPS):
+            for i in range(qops):
                 yield from q.push(rank, Blob(SIZE))
 
         def pop_body(rank):
-            for _ in range(QOPS):
+            for _ in range(qops):
                 yield from q.pop(rank)
     else:  # priority
         q = hcl.priority_queue("q", home_node=0, dims=8, base=16)
 
         def push_body(rank):
-            for i in range(QOPS):
-                yield from q.push(rank, rank * QOPS + i, Blob(SIZE))
+            for i in range(qops):
+                yield from q.push(rank, rank * qops + i, Blob(SIZE))
 
         def pop_body(rank):
-            for _ in range(QOPS):
+            for _ in range(qops):
                 yield from q.pop(rank)
 
     hcl.run_ranks(push_body, ranks=range(clients))
     t_push = hcl.now
     hcl.run_ranks(pop_body, ranks=range(clients))
     t_pop = hcl.now - t_push
-    total = clients * QOPS
+    total = clients * qops
     return total / t_push, total / t_pop
 
 

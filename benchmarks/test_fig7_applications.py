@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, scaled
 from repro.apps import (
     run_contig_generation,
     run_isx,
@@ -38,10 +38,11 @@ def _spec(nodes):
 @pytest.mark.benchmark(group="fig7")
 def test_fig7a_isx(benchmark, report):
     def run():
+        keys = scaled(KEYS_PER_RANK)
         hcl_t, bcl_t = [], []
         for nodes in NODE_SWEEP:
-            h = run_isx("hcl", _spec(nodes), keys_per_rank=KEYS_PER_RANK)
-            b = run_isx("bcl", _spec(nodes), keys_per_rank=KEYS_PER_RANK)
+            h = run_isx("hcl", _spec(nodes), keys_per_rank=keys)
+            b = run_isx("bcl", _spec(nodes), keys_per_rank=keys)
             assert h.verified and b.verified
             hcl_t.append(h.time_seconds)
             bcl_t.append(b.time_seconds)
@@ -72,8 +73,8 @@ def test_fig7b_contig_generation(benchmark, report):
             # Weak scaling: genome and reads grow together with the node
             # count so coverage (and thus contig length) stays constant.
             data = synthesize_genome(
-                genome_length=300 * nodes,
-                num_reads=24 * nodes,
+                genome_length=scaled(300 * nodes),
+                num_reads=scaled(24 * nodes),
                 read_length=60,
                 k=15,
                 seed=nodes,
@@ -108,8 +109,8 @@ def test_fig7c_kmer_counting(benchmark, report):
         hcl_t, bcl_t = [], []
         for nodes in NODE_SWEEP:
             data = synthesize_genome(
-                genome_length=400 + 120 * nodes,
-                num_reads=20 * nodes,
+                genome_length=scaled(400 + 120 * nodes),
+                num_reads=scaled(20 * nodes),
                 read_length=50,
                 k=13,
                 seed=nodes + 10,

@@ -60,8 +60,10 @@ def _cmd_fig5(args) -> int:
 
 
 def _cmd_fig6(args) -> int:
+    from benchmarks import conftest as bench_conf
     from benchmarks import test_fig6_scaling as f6
 
+    bench_conf.set_scale(args.scale)
     series = {"hcl_umap_ins": [], "hcl_map_ins": [], "bcl_umap_ins": []}
     parts = args.partitions or f6.PART_SWEEP
     for p in parts:
@@ -81,6 +83,9 @@ def _cmd_fig7(args) -> int:
         run_contig_generation, run_isx, run_kmer_counting, synthesize_genome,
     )
 
+    def sc(n: int) -> int:
+        return max(1, round(n * args.scale))
+
     apps = args.apps or ["isx", "kmer", "contig"]
     nodes_sweep = args.nodes or [2, 4, 8]
     for app in apps:
@@ -88,11 +93,11 @@ def _cmd_fig7(args) -> int:
         for nodes in nodes_sweep:
             spec = ares_like(nodes=nodes, procs_per_node=args.procs)
             if app == "isx":
-                h = run_isx("hcl", spec, keys_per_rank=args.ops)
-                b = run_isx("bcl", spec, keys_per_rank=args.ops)
+                h = run_isx("hcl", spec, keys_per_rank=sc(args.ops))
+                b = run_isx("bcl", spec, keys_per_rank=sc(args.ops))
             else:
                 data = synthesize_genome(
-                    genome_length=300 * nodes, num_reads=24 * nodes,
+                    genome_length=sc(300 * nodes), num_reads=sc(24 * nodes),
                     read_length=60, k=15, seed=nodes,
                 )
                 runner = (run_kmer_counting if app == "kmer"
@@ -153,10 +158,36 @@ def _cmd_microbench(args) -> int:
     return 0
 
 
+def _cmd_kernelbench(args) -> int:
+    from repro.harness.kernelbench import emit_bench_json, kernel_events_per_sec
+
+    rep = kernel_events_per_sec(
+        repeats=args.repeats,
+        procs=args.procs,
+        timeouts_per_proc=args.timeouts,
+        pooling=not args.no_pooling,
+    )
+    print(render_table(
+        "DES kernel throughput (wall clock; best of "
+        f"{args.repeats} runs)",
+        ["metric", "value"], rep.rows(),
+    ))
+    if args.emit:
+        print(f"wrote {emit_bench_json(rep, args.emit)}")
+    return 0
+
+
 def _cmd_list(args) -> int:
-    print("commands: fig1 fig5 fig6 fig7 sweep microbench list")
+    print("commands: fig1 fig5 fig6 fig7 sweep microbench kernelbench list")
     print("full asserted reproduction: pytest benchmarks/ --benchmark-only -s")
     return 0
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -175,6 +206,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p6 = sub.add_parser("fig6", help="container scaling")
     p6.add_argument("--partitions", nargs="+", type=int, default=None)
+    p6.add_argument("--scale", type=_positive_float, default=1.0,
+                    help="work multiplier (ops per rank; default 1.0)")
     p6.set_defaults(fn=_cmd_fig6)
 
     p7 = sub.add_parser("fig7", help="application kernels")
@@ -184,7 +217,23 @@ def build_parser() -> argparse.ArgumentParser:
     p7.add_argument("--procs", type=int, default=3)
     p7.add_argument("--ops", type=int, default=48,
                     help="ISx keys per rank")
+    p7.add_argument("--scale", type=_positive_float, default=1.0,
+                    help="work multiplier (keys/reads; default 1.0)")
     p7.set_defaults(fn=_cmd_fig7)
+
+    pk = sub.add_parser("kernelbench",
+                        help="DES kernel event-throughput microbenchmark")
+    pk.add_argument("--procs", type=int, default=100)
+    pk.add_argument("--timeouts", type=int, default=2000,
+                    help="timeouts per process")
+    pk.add_argument("--repeats", type=int, default=3,
+                    help="take the best of N runs")
+    pk.add_argument("--no-pooling", action="store_true",
+                    help="disable the event free-list pool")
+    pk.add_argument("--emit", nargs="?", const="BENCH_kernel.json",
+                    default=None, metavar="PATH",
+                    help="write the result as JSON (default BENCH_kernel.json)")
+    pk.set_defaults(fn=_cmd_kernelbench)
 
     pm = sub.add_parser("microbench", help="OSU-style fabric microbenchmarks")
     pm.add_argument("--provider", default="roce",

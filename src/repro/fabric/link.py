@@ -61,13 +61,39 @@ def transfer(egress: Link, ingress: Link, msg: Message, switch=None):
     outside the hold, so back-to-back messages pipeline as on real links.
     An oversubscribed ``switch`` additionally bounds how many transfers can
     stream through the backplane at once.
+
+    **Allocation-elided charging:** each hop that is free at its claim
+    point skips the :class:`~repro.simnet.resources.Request` allocation —
+    the slot is claimed synchronously (exactly when ``request``'s immediate
+    grant would claim it) and a pooled zero-delay timeout stands in for the
+    grant event, scheduling with the identical ``(time, priority, seq)``.
+    The hops are still claimed *in sequence* (egress, then ingress, then
+    backplane), one event apart, exactly as the request/grant path orders
+    them, so contention windows — and every simulated result — are
+    unchanged; only the per-hop Event/Request allocations go away.  A busy
+    hop falls back to the queued request path for that hop alone.
     """
     cost = egress.cost
-    e_req = egress.channel.request()
-    yield e_req
+    sim = egress.sim
+    e_ch = egress.channel
+    e_req = None
+    if e_ch.in_use < e_ch.capacity:
+        e_ch._note_change()
+        e_ch.in_use += 1
+        yield sim.timeout(0.0)
+    else:
+        e_req = e_ch.request()
+        yield e_req
     try:
-        i_req = ingress.channel.request()
-        yield i_req
+        i_ch = ingress.channel
+        i_req = None
+        if i_ch.in_use < i_ch.capacity:
+            i_ch._note_change()
+            i_ch.in_use += 1
+            yield sim.timeout(0.0)
+        else:
+            i_req = i_ch.request()
+            yield i_req
         try:
             wire = egress.wire_time(msg)
             if switch is not None and not switch.is_full_bisection:
@@ -75,13 +101,19 @@ def transfer(egress: Link, ingress: Link, msg: Message, switch=None):
                 # spent holding one of the limited switch channels.
                 yield from switch.traverse(wire)
             else:
-                yield egress.sim.timeout(wire)
+                yield sim.timeout(wire)
                 if switch is not None:
                     switch.transits.add(1)
             egress.account(msg)
             ingress.account(msg)
         finally:
-            ingress.channel.release(i_req)
+            if i_req is None:
+                i_ch.release_slot()
+            else:
+                i_ch.release(i_req)
     finally:
-        egress.channel.release(e_req)
-    yield egress.sim.timeout(2 * cost.link_latency + cost.switch_latency)
+        if e_req is None:
+            e_ch.release_slot()
+        else:
+            e_ch.release(e_req)
+    yield sim.timeout(2 * cost.link_latency + cost.switch_latency)

@@ -119,17 +119,35 @@ class Nic:
 
         Holding the region lock while the atomic executes is the
         serialization effect the paper's motivating test quantifies.
+
+        When both the core and the lock are free at entry they are claimed
+        inline at the same instant (exactly when the classic path's
+        immediate grants would land) and the whole atomic rides one
+        timeout; contention falls back to the request/acquire path, whose
+        queueing is unchanged.
         """
-        req = self.cores.request()
-        yield req
-        try:
-            yield region.atomic_lock.acquire()
+        cores = self.cores
+        lock = region.atomic_lock
+        if cores.in_use < cores.capacity and lock.try_acquire():
+            cores._note_change()
+            cores.in_use += 1
             try:
                 yield self.sim.timeout(self.cost.nic_atomic_service)
             finally:
-                region.atomic_lock.release()
+                lock.release()
+                cores.release_slot()
+            self.verbs_processed.add(1)
+            return
+        req = cores.request()
+        yield req
+        try:
+            yield lock.acquire()
+            try:
+                yield self.sim.timeout(self.cost.nic_atomic_service)
+            finally:
+                lock.release()
         finally:
-            self.cores.release(req)
+            cores.release(req)
         self.verbs_processed.add(1)
 
     # -- observability ----------------------------------------------------------

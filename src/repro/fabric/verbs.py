@@ -74,7 +74,10 @@ class QueuePair:
         yield from self._doorbell()
         yield from src_node.nic.serve_verb()
         yield from self._wire(dst, msg)
-        yield dst_node.nic.recv_queue.put(msg)
+        # Unbounded (or non-full) work queues accept the message without a
+        # scheduler round-trip; only a *full* bounded queue blocks the QP.
+        if not dst_node.nic.recv_queue.try_put(msg):
+            yield dst_node.nic.recv_queue.put(msg)
         return msg.msg_id
 
     # -- one-sided data -----------------------------------------------------------

@@ -6,14 +6,24 @@ Every table and figure bench in ``benchmarks/`` builds on this package:
 * :mod:`repro.harness.experiment` — run descriptors, sweep runner,
   result rows with derived metrics (ops/s, MB/s);
 * :mod:`repro.harness.report` — fixed-width text tables comparing
-  paper-reported values against measured ones, and CSV-ish dumps.
+  paper-reported values against measured ones, and CSV-ish dumps;
+* :mod:`repro.harness.kernelbench` — wall-clock throughput of the DES
+  kernel itself (the number every figure's runtime is bounded by).
 """
 
 from repro.harness.workload import Blob, key_stream, WorkloadSpec
 from repro.harness.experiment import ExperimentResult, run_trials, throughput
 from repro.harness.report import render_table, render_series, ratio
+from repro.harness.kernelbench import (
+    KernelBenchReport,
+    kernel_events_per_sec,
+    run_kernel_bench,
+)
 
 __all__ = [
+    "KernelBenchReport",
+    "kernel_events_per_sec",
+    "run_kernel_bench",
     "Blob",
     "key_stream",
     "WorkloadSpec",

@@ -128,25 +128,42 @@ class RpcServer:
     # -- the NIC-core worker ---------------------------------------------------------
     def _worker_loop(self):
         nic = self.node.nic
+        recv = nic.recv_queue
+        cores = nic.cores
+        sim = self.sim
+        dispatch = self.cost.nic_rpc_dispatch
         while not self._stopped:
-            msg = yield nic.recv_queue.get()
-            batch = [msg]
-            # Request aggregation: opportunistically drain more requests.
-            while len(batch) < self.batch_size:
-                ok, extra = nic.recv_queue.try_get()
+            msg = yield recv.get()
+            # Drain the whole request queue per wake-up: after each batch,
+            # pull the next queued request directly off the work queue
+            # instead of re-arming a ``get`` Event on it.  A pooled
+            # zero-delay timeout stands in for the triggered get — it
+            # schedules with the identical ``(time, priority, seq)``, so
+            # worker/verb interleaving under contention (and every simulated
+            # result) is unchanged; only the per-request Event allocation
+            # and Store bookkeeping go away.
+            while True:
+                batch = [msg]
+                # Request aggregation: opportunistically drain more requests.
+                while len(batch) < self.batch_size:
+                    ok, extra = recv.try_get()
+                    if not ok:
+                        break
+                    batch.append(extra)
+                core = cores.request()
+                yield core
+                try:
+                    # One de-marshal/dispatch charge per batch (aggregation win).
+                    yield sim.timeout(dispatch)
+                    self.batches.add(1)
+                    for m in batch:
+                        yield from self._execute(m.payload)
+                finally:
+                    cores.release(core)
+                ok, msg = recv.try_get()
                 if not ok:
                     break
-                batch.append(extra)
-            core = nic.cores.request()
-            yield core
-            try:
-                # One de-marshal/dispatch charge per batch (aggregation win).
-                yield self.sim.timeout(self.cost.nic_rpc_dispatch)
-                self.batches.add(1)
-                for m in batch:
-                    yield from self._execute(m.payload)
-            finally:
-                nic.cores.release(core)
+                yield sim.timeout(0.0)
 
     def _execute(self, req: RpcRequest):
         t0 = self.sim.now

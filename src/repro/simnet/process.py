@@ -8,13 +8,29 @@ thrown into the generator).  Sub-generators compose with ``yield from``.
 A :class:`Process` is itself an :class:`Event` that fires when the generator
 returns, carrying the generator's return value — so processes can wait on
 each other by yielding them.
+
+The resume path is the single hottest code in the simulator (one resume per
+retired event in process-driven workloads), so it is aggressively flattened:
+``gen.send``/``gen.throw`` are cached as bound methods, the callback object
+is allocated once per process, and the per-event ``_resume`` inlines the
+wait/registration logic instead of delegating.  ``interrupt`` is O(1): it
+*tombstones* the wait (clears ``_waiting_on``) instead of scanning the
+event's callback list; a stale wakeup is recognized and dropped by the
+``_waiting_on is not event`` guard.
 """
 
 from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.simnet.core import Event, Interrupt, SimulationError, Simulator
+from repro.simnet.core import (
+    _PENDING,
+    _PROCESSED,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
 
 __all__ = ["Process"]
 
@@ -22,7 +38,7 @@ __all__ = ["Process"]
 class Process(Event):
     """A running coroutine inside the simulator."""
 
-    __slots__ = ("_gen", "name", "_waiting_on")
+    __slots__ = ("_gen", "_send", "_throw", "_resume_cb", "name", "_waiting_on")
 
     _counter = 0
 
@@ -35,13 +51,19 @@ class Process(Event):
         super().__init__(sim)
         Process._counter += 1
         self._gen = generator
+        self._send = generator.send
+        self._throw = generator.throw
+        self._resume_cb = self._resume
         self.name = name or f"proc-{Process._counter}"
         self._waiting_on: Optional[Event] = None
-        # Kick off at current sim time via an immediate event so that process
-        # startup is ordered with other scheduled work.
-        start = Event(sim)
-        start.add_callback(self._resume)
-        start.succeed(None)
+        # Kick off at current sim time via a scheduled callback so that
+        # process startup stays ordered with other scheduled work (one seq
+        # slot, exactly like the kick-off Event it replaces — but with no
+        # Event allocation).
+        sim.schedule_callback(self._start)
+
+    def _start(self) -> None:
+        self._step(None, None)
 
     # -- lifecycle -------------------------------------------------------------
     @property
@@ -58,38 +80,35 @@ class Process(Event):
         return self.value
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current sim time."""
-        if self.triggered:
+        """Throw :class:`Interrupt` into the process at the current sim time.
+
+        O(1): the registered resume callback is left on the waited event as
+        a tombstone — ``_resume`` drops the wakeup because ``_waiting_on``
+        no longer points at that event.
+        """
+        if self._state != _PENDING:
             raise SimulationError(f"cannot interrupt finished process {self.name!r}")
-        target = self._waiting_on
-        if target is None:
+        if self._waiting_on is None:
             raise SimulationError(
                 f"process {self.name!r} is not waiting; cannot interrupt"
             )
-        # Detach from the event we were waiting on and schedule the throw.
-        try:
-            target.callbacks.remove(self._resume)
-        except ValueError:
-            pass
         self._waiting_on = None
-        kick = Event(self.sim)
-        kick.add_callback(lambda ev: self._step(None, Interrupt(cause)))
-        kick.succeed(None)
+        cause_exc = Interrupt(cause)
+        self.sim.schedule_callback(lambda: self._step(None, cause_exc))
 
     # -- kernel plumbing ---------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        # Stale wakeup from a tombstoned wait (see interrupt)?  Drop it.
+        if self._waiting_on is not event:
+            return
         self._waiting_on = None
-        if event.ok:
-            self._step(event.value, None)
-        else:
-            self._step(None, event.value)
-
-    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        # NOTE: this is _step() flattened into the callback — one frame per
+        # retired event instead of three.  Keep the two in sync.
         try:
-            if exc is None:
-                target = self._gen.send(value)
+            if event._ok:
+                target = self._send(event._value)
             else:
-                target = self._gen.throw(exc)
+                target = self._throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -97,32 +116,56 @@ class Process(Event):
             self.fail(err)
             return
 
-        if not isinstance(target, Event):
-            error = SimulationError(
-                f"process {self.name!r} yielded {type(target).__name__}, "
-                "expected an Event"
-            )
-            try:
-                self._gen.throw(error)
-            except StopIteration as stop:
-                self.succeed(stop.value)
-            except BaseException as err:
-                self.fail(err)
+        if isinstance(target, Event):
+            if target._state != _PROCESSED:
+                self._waiting_on = target
+                target.callbacks.append(self._resume_cb)
+            else:
+                self._kick(target)
+        else:
+            self._reject_yield(target)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is None:
+                target = self._send(value)
+            else:
+                target = self._throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self.fail(err)
             return
 
-        if target.processed:
-            # Already-fired event: reschedule resume immediately to preserve
-            # cooperative fairness (avoid deep recursion on hot loops).  The
-            # guard keeps an interleaved interrupt() from double-resuming.
-            self._waiting_on = target
-            kick = Event(self.sim)
-            kick.add_callback(
-                lambda ev: self._resume(target) if self._waiting_on is target else None
-            )
-            kick.succeed(None)
+        if isinstance(target, Event):
+            if target._state != _PROCESSED:
+                self._waiting_on = target
+                target.callbacks.append(self._resume_cb)
+            else:
+                self._kick(target)
         else:
-            self._waiting_on = target
-            target.add_callback(self._resume)
+            self._reject_yield(target)
+
+    def _kick(self, target: Event) -> None:
+        # Already-fired event: reschedule resume immediately to preserve
+        # cooperative fairness (avoid deep recursion on hot loops).  The
+        # _waiting_on guard in _resume keeps an interleaved interrupt()
+        # from double-resuming.
+        self._waiting_on = target
+        self.sim.schedule_callback(lambda: self._resume(target))
+
+    def _reject_yield(self, target: Any) -> None:
+        error = SimulationError(
+            f"process {self.name!r} yielded {type(target).__name__}, "
+            "expected an Event"
+        )
+        try:
+            self._throw(error)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except BaseException as err:
+            self.fail(err)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.triggered else "running"

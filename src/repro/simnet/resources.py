@@ -77,6 +77,23 @@ class Resource:
             return 0.0
         return self.busy_time() / (span * self.capacity)
 
+    # -- slot-level API (no Request allocation; fabric fast paths) -------------
+    def try_acquire(self) -> bool:
+        """Claim a slot immediately if one is free; no Request, no event."""
+        if self.in_use < self.capacity:
+            self._note_change()
+            self.in_use += 1
+            return True
+        return False
+
+    def release_slot(self) -> None:
+        """Release a slot claimed with :meth:`try_acquire`."""
+        self._note_change()
+        if self._queue:
+            self._queue.popleft().succeed(self)
+        else:
+            self.in_use -= 1
+
     # -- API --------------------------------------------------------------------
     def request(self) -> Request:
         req = Request(self)
@@ -105,13 +122,35 @@ class Resource:
             self.in_use -= 1
 
     def use(self, duration: float):
-        """Generator helper: acquire, hold for ``duration``, release."""
-        req = self.request()
-        yield req
-        try:
-            yield self.sim.timeout(duration)
-        finally:
-            self.release(req)
+        """Generator helper: acquire, hold for ``duration``, release.
+
+        Uncontended holds skip the :class:`Request` allocation: the slot is
+        claimed synchronously (exactly when ``request``'s immediate
+        ``req.succeed`` would claim it) and a pooled zero-delay timeout
+        stands in for the grant event.  The timeout schedules with the same
+        ``(time, priority, seq)`` the grant would get, so same-instant
+        ordering — and therefore every simulated result — is unchanged; only
+        the allocations go away.  The release runs inline.
+        """
+        if self.in_use < self.capacity:
+            self._note_change()
+            self.in_use += 1
+            yield self.sim.timeout(0.0)
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                self._note_change()
+                if self._queue:
+                    self._queue.popleft().succeed(self)
+                else:
+                    self.in_use -= 1
+        else:
+            req = self.request()
+            yield req
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                self.release(req)
 
     @property
     def queue_length(self) -> int:
@@ -155,17 +194,39 @@ class PriorityResource(Resource):
         else:
             self.in_use -= 1
 
+    def release_slot(self) -> None:  # type: ignore[override]
+        self._note_change()
+        if self._pqueue:
+            _p, _s, nxt = heapq.heappop(self._pqueue)
+            nxt.succeed(self)
+        else:
+            self.in_use -= 1
+
     @property
     def queue_length(self) -> int:
         return len(self._pqueue)
 
     def use(self, duration: float, priority: float = 0.0):
-        req = self.request(priority)
-        yield req
-        try:
-            yield self.sim.timeout(duration)
-        finally:
-            self.release(req)
+        if self.in_use < self.capacity:
+            self._note_change()
+            self.in_use += 1
+            yield self.sim.timeout(0.0)
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                self._note_change()
+                if self._pqueue:
+                    _p, _s, nxt = heapq.heappop(self._pqueue)
+                    nxt.succeed(self)
+                else:
+                    self.in_use -= 1
+        else:
+            req = self.request(priority)
+            yield req
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                self.release(req)
 
 
 class Store:
@@ -182,7 +243,7 @@ class Store:
         self._putters: Deque[tuple[Event, Any]] = deque()
 
     def put(self, item: Any) -> Event:
-        ev = Event(self.sim)
+        ev = self.sim.event()
         if self._getters:
             getter = self._getters.popleft()
             getter.succeed(item)
@@ -195,7 +256,7 @@ class Store:
         return ev
 
     def get(self) -> Event:
-        ev = Event(self.sim)
+        ev = self.sim.event()
         if self._items:
             item = self._items.popleft()
             ev.succeed(item)
@@ -206,6 +267,16 @@ class Store:
         else:
             self._getters.append(ev)
         return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put: deliver/enqueue and return True, or False if full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            return True
+        return False
 
     def try_get(self) -> tuple[bool, Any]:
         """Non-blocking pop: returns ``(True, item)`` or ``(False, None)``."""
@@ -245,7 +316,7 @@ class Container:
     def put(self, amount: float) -> Event:
         if amount < 0:
             raise ValueError("amount must be non-negative")
-        ev = Event(self.sim)
+        ev = self.sim.event()
         self._putters.append((ev, amount))
         self._drain()
         return ev
@@ -253,7 +324,7 @@ class Container:
     def get(self, amount: float) -> Event:
         if amount < 0:
             raise ValueError("amount must be non-negative")
-        ev = Event(self.sim)
+        ev = self.sim.event()
         self._getters.append((ev, amount))
         self._drain()
         return ev

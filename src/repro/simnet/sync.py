@@ -36,7 +36,7 @@ class SimLock:
         self.total_acquires = 0
 
     def acquire(self) -> Event:
-        ev = Event(self.sim)
+        ev = self.sim.event()
         self.total_acquires += 1
         if not self._locked:
             self._locked = True
@@ -45,6 +45,14 @@ class SimLock:
             self.contended_acquires += 1
             self._waiters.append(ev)
         return ev
+
+    def try_acquire(self) -> bool:
+        """Take the lock immediately if free; no event allocation."""
+        if self._locked:
+            return False
+        self._locked = True
+        self.total_acquires += 1
+        return True
 
     def release(self) -> None:
         if not self._locked:
@@ -79,7 +87,7 @@ class Semaphore:
         self._waiters: Deque[Event] = deque()
 
     def acquire(self) -> Event:
-        ev = Event(self.sim)
+        ev = self.sim.event()
         if self._value > 0:
             self._value -= 1
             ev.succeed(None)
@@ -115,7 +123,7 @@ class Barrier:
         self.generation = 0
 
     def wait(self) -> Event:
-        ev = Event(self.sim)
+        ev = self.sim.event()
         self._arrived.append(ev)
         if len(self._arrived) == self.parties:
             batch, self._arrived = self._arrived, []
@@ -140,7 +148,7 @@ class Signal:
         self.fire_count = 0
 
     def wait(self) -> Event:
-        ev = Event(self.sim)
+        ev = self.sim.event()
         self._waiters.append(ev)
         return ev
 

@@ -1,0 +1,530 @@
+"""Kernel fast paths: event pooling, the near-future timeout lane,
+``schedule_callback``, AnyOf/AllOf detach semantics, tombstone interrupts,
+and the ``Resource.use`` no-contention path.
+
+These are the invariants the perf work in this PR relies on: recycling
+must never leak a stale value or callback across reuses, the two-lane
+scheduler must retire events in exactly the order a pure binary heap
+would, and pooling must be a wall-clock-only knob (``pooling=False``
+yields bit-identical simulated results).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simnet.core import Event, Interrupt, Simulator, Timeout
+from repro.simnet.resources import Resource
+
+# ---------------------------------------------------------------------------
+# Event / timeout pooling
+# ---------------------------------------------------------------------------
+
+
+class TestEventPooling:
+    def test_timeouts_are_recycled(self):
+        sim = Simulator(pooling=True)
+
+        def proc():
+            for _ in range(50):
+                yield sim.timeout(0.001)
+
+        sim.run_process(proc())
+        stats = sim.kernel_stats()
+        assert stats["events_recycled"] > 0
+        assert stats["timeout_pool"] > 0
+
+    def test_recycled_timeout_carries_no_stale_state(self):
+        sim = Simulator(pooling=True)
+        seen = []
+
+        def proc():
+            first = sim.timeout(0.5, value="stale-payload")
+            got = yield first
+            seen.append(got)
+            # With pooling the very same object comes back from the pool;
+            # it must behave as a brand-new (born-triggered) timeout.
+            second = sim.timeout(0.5)
+            assert second.value is None  # no stale payload
+            assert not second.processed
+            assert not second.callbacks  # no leftover waiters
+            got = yield second
+            seen.append(got)
+
+        sim.run_process(proc())
+        assert seen == ["stale-payload", None]
+        assert sim.kernel_stats()["events_recycled"] >= 1
+
+    def test_externally_held_timeout_is_not_recycled(self):
+        sim = Simulator(pooling=True)
+        held = []
+
+        def proc():
+            t = sim.timeout(0.1, value=42)
+            held.append(t)  # external reference outlives _process
+            yield t
+
+        sim.run_process(proc())
+        # The held object must keep its identity and value forever.
+        assert held[0].value == 42
+        assert held[0].processed
+        fresh = sim.timeout(0.1)
+        assert fresh is not held[0]
+
+    def test_request_subclass_never_enters_timeout_pool(self, sim):
+        # Pools recycle exact classes only; Resource Requests (an Event
+        # subclass) must never be handed back by sim.event().
+        res = Resource(sim, capacity=1)
+
+        def proc():
+            yield from res.use(0.1)
+            ev = sim.event()
+            assert type(ev) is Event
+            yield sim.timeout(0.0)
+
+        sim.run_process(proc())
+
+    def test_pooling_off_recycles_nothing(self):
+        sim = Simulator(pooling=False)
+
+        def proc():
+            for _ in range(20):
+                yield sim.timeout(0.001)
+
+        sim.run_process(proc())
+        stats = sim.kernel_stats()
+        assert stats["events_recycled"] == 0
+        assert stats["timeout_pool"] == 0
+        assert stats["event_pool"] == 0
+
+    def test_pooling_toggle_is_wall_clock_only(self):
+        def workload(sim):
+            res = Resource(sim, capacity=2)
+            done = []
+
+            def worker(i):
+                for j in range(5):
+                    yield sim.timeout(0.001 * ((i + j) % 3 + 1))
+                    yield from res.use(0.002)
+                done.append((i, sim.now))
+                return i
+
+            for i in range(8):
+                sim.process(worker(i))
+            sim.run()
+            return sim.now, sim.events_processed, done
+
+        on = workload(Simulator(pooling=True))
+        off = workload(Simulator(pooling=False))
+        assert on == off
+
+
+# ---------------------------------------------------------------------------
+# Near-future lane vs binary heap: ordering equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestLaneHeapOrdering:
+    def test_monotone_and_regressive_delays_fire_in_heap_order(self):
+        # Schedule a mix that exercises both the lane (monotone appends)
+        # and the heap (out-of-order inserts), then check the firing order
+        # equals a stable sort by (time, insertion seq).
+        sim = Simulator()
+        fired = []
+        rng = random.Random(7)
+        delays = [rng.choice([0.0, 0.001, 0.002, 0.005, 0.01])
+                  for _ in range(200)]
+
+        def charge(i, d):
+            def cb():
+                fired.append(i)
+            sim.schedule_callback(cb, d)
+
+        def driver():
+            # First half scheduled up front (mixed order -> heap + lane).
+            for i, d in enumerate(delays[:100]):
+                charge(i, d)
+            yield sim.timeout(0.003)
+            # Second half scheduled mid-run, relative to a later now.
+            for i, d in enumerate(delays[100:], start=100):
+                charge(i, d)
+
+        sim.run_process(driver())
+        base = 0.003
+        expected = sorted(
+            range(200),
+            key=lambda i: (delays[i] if i < 100 else base + delays[i], i),
+        )
+        assert fired == expected
+
+    def test_equal_time_entries_keep_fifo_order_across_lanes(self):
+        sim = Simulator()
+        fired = []
+
+        def cb(tag):
+            return lambda: fired.append(tag)
+
+        # Force heap traffic: a far event first, then near ones (which go
+        # to the lane), then more at the exact same time as the far one.
+        sim.schedule_callback(cb("far-1"), 1.0)
+        sim.schedule_callback(cb("near"), 0.5)
+        sim.schedule_callback(cb("far-2"), 1.0)
+        sim.schedule_callback(cb("far-3"), 1.0)
+        sim.run()
+        assert fired == ["near", "far-1", "far-2", "far-3"]
+
+    def test_zero_delay_chain_does_not_starve_later_events(self):
+        sim = Simulator()
+        fired = []
+        counter = [0]
+
+        def reschedule():
+            fired.append("tick")
+            counter[0] += 1
+            if counter[0] < 3:
+                sim.schedule_callback(reschedule, 0.0)
+
+        sim.schedule_callback(reschedule, 0.0)
+        sim.schedule_callback(lambda: fired.append("later"), 0.0)
+        sim.run()
+        # The first reschedule lands *after* the already-queued same-time
+        # callback: seq order is preserved exactly as a heap would.
+        assert fired == ["tick", "later", "tick", "tick"]
+
+    def test_peek_merges_lane_and_heap(self):
+        sim = Simulator()
+        sim.schedule_callback(lambda: None, 2.0)  # lane
+        sim.schedule_callback(lambda: None, 0.25)  # heap (regressive)
+        assert sim.peek() == 0.25
+        sim.run(until=0.25)
+        assert sim.peek() == 2.0
+
+
+# ---------------------------------------------------------------------------
+# schedule_callback
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleCallback:
+    def test_fires_at_the_right_time(self):
+        sim = Simulator()
+        at = []
+        sim.schedule_callback(lambda: at.append(sim.now), 0.75)
+        sim.run()
+        assert at == [0.75]
+
+    def test_counts_as_one_processed_event(self):
+        sim = Simulator()
+        before = sim.events_processed
+        for _ in range(10):
+            sim.schedule_callback(lambda: None, 0.1)
+        sim.run()
+        assert sim.events_processed == before + 10
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(Exception):
+            sim.schedule_callback(lambda: None, -0.1)
+
+    def test_wrappers_are_recycled_without_leaking_fn(self):
+        sim = Simulator(pooling=True)
+        ran = []
+        sim.schedule_callback(lambda: ran.append(1), 0.1)
+        sim.run()
+        assert ran == [1]
+        stats = sim.kernel_stats()
+        assert stats["callback_pool"] == 1
+        # The pooled wrapper must not pin the old closure alive.
+        assert sim._cb_pool[0].fn is None
+
+    def test_interleaves_with_timeouts_in_seq_order(self):
+        sim = Simulator()
+        order = []
+
+        def proc():
+            sim.schedule_callback(lambda: order.append("cb"), 0.5)
+            yield sim.timeout(0.5)
+            order.append("proc")
+
+        sim.run_process(proc())
+        assert order == ["cb", "proc"]
+
+
+# ---------------------------------------------------------------------------
+# AnyOf / AllOf detach semantics
+# ---------------------------------------------------------------------------
+
+
+class TestConditionDetach:
+    def test_any_of_empty_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.any_of([])
+
+    def test_all_of_empty_succeeds_immediately(self, sim):
+        combined = sim.all_of([])
+        assert combined.triggered
+        assert combined.value == []
+
+    def test_any_of_detaches_losers(self, sim):
+        fast = sim.timeout(0.1, value="fast")
+        slow = sim.timeout(9.0, value="slow")
+        combined = sim.any_of([fast, slow])
+        results = []
+
+        def proc():
+            results.append((yield combined))
+
+        sim.process(proc())
+        sim.run(until=0.2)
+        assert results == [(0, "fast")]
+        # The loser must carry no leftover callback from the AnyOf.
+        assert slow.callbacks == []
+
+    def test_all_of_failure_first_detaches_survivors(self, sim):
+        bad = sim.event()
+        pending = sim.timeout(9.0)
+        combined = sim.all_of([bad, pending])
+        bad.fail(RuntimeError("boom"))
+        failures = []
+
+        def proc():
+            try:
+                yield combined
+            except RuntimeError as err:
+                failures.append(str(err))
+
+        sim.process(proc())
+        sim.run(until=1.0)
+        assert failures == ["boom"]
+        assert pending.callbacks == []
+
+    def test_any_of_with_already_processed_child(self, sim):
+        done = sim.event()
+        done.succeed("early")
+
+        def proc():
+            yield sim.timeout(0.1)  # let `done` retire fully
+            other = sim.timeout(9.0)
+            got = yield sim.any_of([done, other])
+            assert got == (0, "early")
+            assert other.callbacks == []
+
+        sim.run_process(proc())
+
+
+# ---------------------------------------------------------------------------
+# Tombstone interrupt
+# ---------------------------------------------------------------------------
+
+
+class TestTombstoneInterrupt:
+    def test_interrupt_while_waiting_detaches_logically(self, sim):
+        watched = sim.timeout(5.0, value="late")
+        log = []
+
+        def proc():
+            try:
+                got = yield watched
+                log.append(("value", got))
+            except Interrupt as intr:
+                log.append(("interrupt", intr.cause))
+                got = yield sim.timeout(0.1)
+                log.append(("after", sim.now))
+
+        p = sim.process(proc())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            p.interrupt("now")
+
+        sim.process(interrupter())
+        sim.run()
+        # The tombstoned wakeup from `watched` at t=5 must be dropped: the
+        # process sees only the interrupt and its own follow-up timeout.
+        assert log == [("interrupt", "now"), ("after", 1.1)]
+        assert p.done
+
+    def test_interrupt_is_o1_with_many_waiters(self, sim):
+        # One hot event with many waiters: interrupting one process must
+        # not disturb the others (the callback list is left untouched).
+        gate = sim.event()
+        results = []
+
+        def waiter(i):
+            try:
+                yield gate
+                results.append(("woke", i))
+            except Interrupt:
+                results.append(("intr", i))
+
+        procs = [sim.process(waiter(i)) for i in range(20)]
+
+        def driver():
+            yield sim.timeout(1.0)
+            procs[7].interrupt()
+            yield sim.timeout(1.0)
+            gate.succeed()
+
+        sim.process(driver())
+        sim.run()
+        assert ("intr", 7) in results
+        woke = sorted(i for tag, i in results if tag == "woke")
+        assert woke == [i for i in range(20) if i != 7]
+
+    def test_interrupted_process_can_rewait_same_event(self, sim):
+        gate = sim.event()
+        log = []
+
+        def proc():
+            try:
+                yield gate
+            except Interrupt:
+                log.append("intr")
+            got = yield gate  # re-register on the same event
+            log.append(got)
+
+        p = sim.process(proc())
+
+        def driver():
+            yield sim.timeout(1.0)
+            p.interrupt()
+            yield sim.timeout(1.0)
+            gate.succeed("open")
+
+        sim.process(driver())
+        sim.run()
+        assert log == ["intr", "open"]
+
+
+# ---------------------------------------------------------------------------
+# Resource.use fast path
+# ---------------------------------------------------------------------------
+
+
+class TestResourceUseFastPath:
+    def test_uncontended_use_timing_matches_request_release(self, sim):
+        res = Resource(sim, capacity=1)
+        times = []
+
+        def via_use():
+            yield from res.use(0.5)
+            times.append(sim.now)
+
+        sim.run_process(via_use())
+        assert times == [0.5]
+        assert res.in_use == 0
+
+    def test_contended_use_is_fifo(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(i):
+            yield from res.use(1.0)
+            order.append((i, sim.now))
+
+        for i in range(3):
+            sim.process(worker(i))
+        sim.run()
+        assert order == [(0, 1.0), (1, 2.0), (2, 3.0)]
+        assert res.in_use == 0 and res.queue_length == 0
+
+    def test_fast_path_release_wakes_queued_requester(self, sim):
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def fast():
+            yield from res.use(1.0)  # takes the no-contention path
+            log.append(("fast", sim.now))
+
+        def queued():
+            yield sim.timeout(0.1)
+            req = res.request()  # classic request while fast() holds
+            yield req
+            log.append(("queued", sim.now))
+            res.release(req)
+
+        sim.process(fast())
+        sim.process(queued())
+        sim.run()
+        assert log == [("fast", 1.0), ("queued", 1.0)]
+
+    def test_interrupt_during_fast_path_hold_releases_slot(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            try:
+                yield from res.use(10.0)
+            except Interrupt:
+                pass
+
+        p = sim.process(holder())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            p.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert res.in_use == 0
+
+    def test_busy_accounting_identical_on_both_paths(self, sim):
+        res = Resource(sim, capacity=2)
+
+        def worker():
+            yield from res.use(1.0)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.process(worker())  # third one queues behind capacity 2
+        sim.run()
+        assert res.busy_time() == pytest.approx(3.0)
+
+
+# ---------------------------------------------------------------------------
+# timeout_at: absolute-deadline scheduling
+# ---------------------------------------------------------------------------
+
+
+class TestTimeoutAt:
+    def test_fires_at_absolute_time(self, sim):
+        at = []
+
+        def waiter():
+            yield sim.timeout(1.0)
+            ev = sim.timeout_at(3.5, value="deadline")
+            got = yield ev
+            at.append((sim.now, got))
+
+        sim.process(waiter())
+        sim.run()
+        assert at == [(3.5, "deadline")]
+
+    def test_past_deadline_rejected(self, sim):
+        def waiter():
+            yield sim.timeout(2.0)
+            with pytest.raises(ValueError):
+                sim.timeout_at(1.0)
+            yield sim.timeout(0.0)
+
+        sim.process(waiter())
+        sim.run()
+
+    def test_interleaves_with_relative_timeouts(self, sim):
+        order = []
+
+        def a():
+            yield sim.timeout_at(2.0)
+            order.append("abs")
+
+        def b():
+            yield sim.timeout(1.0)
+            order.append("rel-1")
+            yield sim.timeout(1.5)
+            order.append("rel-2.5")
+
+        sim.process(a())
+        sim.process(b())
+        sim.run()
+        assert order == ["rel-1", "abs", "rel-2.5"]

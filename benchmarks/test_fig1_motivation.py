@@ -19,9 +19,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.bcl import BCL
 from repro.config import ares_like
-from repro.core import HCL
 from repro.fabric import Cluster
 from repro.harness import Blob, render_table
 from repro.rpc import RpcClient, RpcServer

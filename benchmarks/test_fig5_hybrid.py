@@ -160,7 +160,7 @@ def test_fig5b_inter_node(benchmark, report):
         "(paper: HCL ~4-4.2 GB/s; BCL 1.3 ins / 4.0 find; OOM > 1MB)",
         "op size", labels, series,
     ) + "\nBCL at paper scale (40 clients x 8192 ops): " + ", ".join(
-        f"{l}={o}" for l, o in zip(labels, oom)))
+        f"{label}={o}" for label, o in zip(labels, oom)))
 
     for i, size in enumerate(SIZES):
         assert sweep["hcl_insert"][i] > sweep["bcl_insert"][i], size

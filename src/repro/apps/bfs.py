@@ -20,7 +20,7 @@ on the same graph, for every reachable vertex.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import networkx as nx
 

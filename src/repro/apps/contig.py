@@ -22,7 +22,7 @@ the HCL and BCL runs produce identical contig sets on identical inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set
+from typing import List, Set
 
 from repro.apps.genome import GenomeData
 from repro.bcl import BCL

@@ -26,7 +26,7 @@ finds return the actual stored values.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, Optional
 
 from repro.bcl.runtime import BCL
 from repro.serialization.databox import estimate_size

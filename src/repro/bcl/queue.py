@@ -14,7 +14,7 @@ allocated at init like every BCL structure.
 
 from __future__ import annotations
 
-from typing import Any, Tuple
+from typing import Any
 
 from repro.bcl.runtime import BCL
 from repro.serialization.databox import estimate_size

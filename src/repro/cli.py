@@ -75,7 +75,40 @@ def _cmd_fig6(args) -> int:
         series["bcl_umap_ins"].append(bi)
     print(render_series("Fig 6a — insert throughput op/s", "partitions",
                         parts, series))
+    if args.emit:
+        import json
+
+        with open(args.emit, "w", encoding="utf-8") as fh:
+            json.dump({"partitions": list(parts), "series": series},
+                      fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.emit}")
     return 0
+
+
+def _cmd_chaos_soak(args) -> int:
+    from repro.harness.chaos import emit_report, render_report, run_chaos_soak
+
+    worst = 0
+    for plan in args.plans:
+        report = run_chaos_soak(
+            plan=plan,
+            seed=args.seed,
+            nodes=args.nodes,
+            procs_per_node=args.procs,
+            keys_per_rank=args.keys,
+            kmers_per_rank=args.kmers,
+            horizon=args.horizon,
+        )
+        print(render_report(report))
+        if args.emit:
+            path = (args.emit if len(args.plans) == 1
+                    else args.emit.replace(".json", f"_{plan}.json"))
+            emit_report(report, path)
+            print(f"wrote {path}")
+        if not report["ok"]:
+            worst = 1
+    return worst
 
 
 def _cmd_fig7(args) -> int:
@@ -178,7 +211,8 @@ def _cmd_kernelbench(args) -> int:
 
 
 def _cmd_list(args) -> int:
-    print("commands: fig1 fig5 fig6 fig7 sweep microbench kernelbench list")
+    print("commands: fig1 fig5 fig6 fig7 sweep microbench kernelbench "
+          "chaos-soak list")
     print("full asserted reproduction: pytest benchmarks/ --benchmark-only -s")
     return 0
 
@@ -208,7 +242,34 @@ def build_parser() -> argparse.ArgumentParser:
     p6.add_argument("--partitions", nargs="+", type=int, default=None)
     p6.add_argument("--scale", type=_positive_float, default=1.0,
                     help="work multiplier (ops per rank; default 1.0)")
+    p6.add_argument("--emit", nargs="?", const="BENCH_fig6.json",
+                    default=None, metavar="PATH",
+                    help="write the series as JSON (default BENCH_fig6.json)")
     p6.set_defaults(fn=_cmd_fig6)
+
+    from repro.fabric.faults import PLAN_NAMES
+
+    pc = sub.add_parser(
+        "chaos-soak",
+        help="fault-injection soak: paper workloads under a chaos plan, "
+             "asserting no acked write is lost",
+    )
+    pc.add_argument("--plans", nargs="+", choices=list(PLAN_NAMES),
+                    default=["mixed"], help="fault plans to run")
+    pc.add_argument("--seed", type=int, default=0)
+    pc.add_argument("--nodes", type=int, default=3)
+    pc.add_argument("--procs", type=int, default=2,
+                    help="rank processes per node")
+    pc.add_argument("--keys", type=int, default=24,
+                    help="ISx-style inserts per rank")
+    pc.add_argument("--kmers", type=int, default=16,
+                    help="k-mer upserts per rank")
+    pc.add_argument("--horizon", type=_positive_float, default=2e-3,
+                    help="sim-time horizon the fault windows scale to (s)")
+    pc.add_argument("--emit", nargs="?", const="chaos_soak.json",
+                    default=None, metavar="PATH",
+                    help="write report JSON (per-plan suffix when multiple)")
+    pc.set_defaults(fn=_cmd_chaos_soak)
 
     p7 = sub.add_parser("fig7", help="application kernels")
     p7.add_argument("--apps", nargs="+",

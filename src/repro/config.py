@@ -19,11 +19,47 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-__all__ = ["CostModel", "ClusterSpec", "DEFAULT_COST_MODEL", "ares_like"]
+__all__ = ["CostModel", "ClusterSpec", "RetryPolicy", "DEFAULT_COST_MODEL",
+           "ares_like"]
 
 KB = 1024
 MB = 1024 * 1024
 GB = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """RPC timeout/retry contract (Mercury-style: part of the RPC layer,
+    not an afterthought).  Used by :class:`repro.rpc.client.RpcClient`
+    whenever a fault plan is installed or the target is known-dead —
+    fair-weather RPC on a healthy fabric never arms a timer, so fault-free
+    runs remain bit-identical to the classic protocol.
+
+    ``max_retries`` counts *retransmissions*: a request is attempted at
+    most ``1 + max_retries`` times before the client surfaces
+    :class:`~repro.rpc.future.TargetUnavailable`.
+    """
+
+    timeout: float = 60e-6  # per-attempt completion timeout (seconds)
+    max_retries: int = 6  # retransmissions after the first attempt
+    backoff_base: float = 10e-6  # wait before the first retransmission
+    backoff_factor: float = 2.0  # exponential growth per retry
+    backoff_max: float = 400e-6  # backoff ceiling
+
+    def __post_init__(self):
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff before retransmission number ``attempt`` (1-based)."""
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
 
 
 @dataclass(frozen=True)
@@ -74,6 +110,9 @@ class CostModel:
     # --- BCL-specific ------------------------------------------------------------
     bcl_buffer_per_client: int = 64 * KB  # exclusive RDMA buffer floor
     bcl_init_bandwidth: float = 8.0 * GB  # rate of up-front segment alloc
+
+    # --- RPC reliability ----------------------------------------------------------
+    retry: "RetryPolicy" = field(default_factory=RetryPolicy)
 
     def transfer_time(self, nbytes: int) -> float:
         """Pure wire time for ``nbytes`` over one link (no queueing)."""

@@ -17,7 +17,7 @@ instance is reusable across rounds, like an MPI communicator.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, List, Optional
 
 from repro.simnet.sync import Barrier
 

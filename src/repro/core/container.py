@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.costs import CostLedger, charge, estimate_charge_time
+from repro.core.costs import CostLedger, charge
 from repro.memory.segment import MemorySegment
 from repro.rpc.future import RPCFuture
 from repro.serialization.databox import DataBox, estimate_size
@@ -79,11 +79,14 @@ class DistributedContainer:
         replication: int = 0,
         persistence: bool = False,
         concurrency: str = "lockfree",
+        write_failover: bool = False,
     ):
         if concurrency not in self.CONCURRENCY_LEVELS:
             raise ValueError(
                 f"concurrency must be one of {self.CONCURRENCY_LEVELS}"
             )
+        if write_failover and replication <= 0:
+            raise ValueError("write_failover requires replication >= 1")
         self.runtime = runtime
         self.name = name
         self.partitions: List[Partition] = list(partitions)
@@ -91,9 +94,21 @@ class DistributedContainer:
         self.replication = replication
         self.persistence = persistence
         self.concurrency = concurrency
+        #: opt-in: redirect acked writes to a replica while the primary is
+        #: down, then replay them onto the primary when it restarts.  Off by
+        #: default — the classic contract is that mutations to a dead
+        #: primary fail loudly.
+        self.write_failover = write_failover
         self.ledger = CostLedger()
         self.local_hits = Counter(f"{name}/local")
         self.remote_calls = Counter(f"{name}/remote")
+        self.failover_reads = Counter(f"{name}/failover_reads")
+        self.failover_writes = Counter(f"{name}/failover_writes")
+        self.replayed_writes = Counter(f"{name}/replayed_writes")
+        #: node_id -> [(part_index, op, args, token), ...] awaiting replay
+        self._replay: Dict[int, List[tuple]] = {}
+        self._replay_hooked: set = set()
+        self._replaying: set = set()
         if concurrency == "mutex":
             from repro.simnet.sync import SimLock
 
@@ -202,22 +217,43 @@ class DistributedContainer:
             return result
         self.remote_calls.add(1)
         client = self.runtime.client(caller_node)
+        mutation = self._is_mutation(op)
+        token = None
+        if (
+            mutation
+            and self.write_failover
+            and (self.runtime.cluster.faults is not None
+                 or not self.runtime.cluster.node(part.node_id).alive)
+        ):
+            # Pre-assign the idempotency token so a write replayed onto the
+            # restarted primary dedups against a late execution of this
+            # very request (and vice versa).
+            token = client.next_token()
         try:
             result = yield from client.call(
                 part.node_id,
                 f"{self.name}.{op}",
                 (part.index, *args),
                 payload_size=payload_bytes,
+                token=token,
             )
             return result
         except ConnectionError:
             # Primary down: replicated containers serve reads from the
             # next replica(s) in the hash chain (Section III-A4).
-            if self.replication <= 0 or self._is_mutation(op):
+            if self.replication <= 0:
                 raise
+            if mutation:
+                if not self.write_failover:
+                    raise
+                result = yield from self._failover_write(
+                    client, part, op, args, payload_bytes, token
+                )
+                return result
             result = yield from self._read_from_replica(
                 client, part, op, args, payload_bytes
             )
+            self.failover_reads.add(1)
             return result
 
     def _read_from_replica(self, client, part, op, args, payload_bytes):
@@ -243,6 +279,91 @@ class DistributedContainer:
             f"{self.name}.{op}: primary and all {self.replication} "
             "replicas are down"
         )
+
+    # -- write failover + replay ------------------------------------------------
+    def _failover_write(self, client, part, op, args, payload_bytes, token):
+        """Apply a mutation to a live replica while the primary is down.
+
+        The write is acked to the caller once one replica accepts it; the
+        operation is then queued for replay onto the primary, which runs as
+        soon as the primary restarts.  The replay reuses ``token`` — the
+        *original* request's idempotency token — so if the primary executed
+        the original request late (completion lost, budget exhausted) the
+        replay is suppressed server-side rather than double-applied.
+        """
+        from repro.fabric.node import NodeDownError
+
+        nparts = len(self.partitions)
+        last_error: Optional[BaseException] = None
+        for step in range(1, self.replication + 1):
+            replica = self.partitions[(part.index + step) % nparts]
+            if replica.index == part.index:
+                continue
+            if not self.runtime.cluster.node(replica.node_id).alive:
+                continue
+            try:
+                result = yield from client.call(
+                    replica.node_id,
+                    f"{self.name}.{op}:replica",
+                    (replica.index, *args),
+                    payload_size=payload_bytes,
+                )
+            except ConnectionError as err:  # replica died too; keep going
+                last_error = err
+                continue
+            self.failover_writes.add(1)
+            self._queue_replay(part, op, args, token)
+            return result
+        raise last_error or NodeDownError(
+            f"{self.name}.{op}: primary and all {self.replication} "
+            "replicas are down"
+        )
+
+    def _queue_replay(self, part, op, args, token) -> None:
+        """Remember an acked-on-replica write for replay onto the primary."""
+        node_id = part.node_id
+        self._replay.setdefault(node_id, []).append(
+            (part.index, op, args, token)
+        )
+        if node_id not in self._replay_hooked:
+            self._replay_hooked.add(node_id)
+            node = self.runtime.cluster.node(node_id)
+            node.on_recover.append(lambda: self._spawn_replay(node_id))
+        if self.runtime.cluster.node(node_id).alive:
+            # Primary came back between the failed call and the ack (or was
+            # merely unreachable, not crashed): replay immediately.
+            self._spawn_replay(node_id)
+
+    def _spawn_replay(self, node_id: int) -> None:
+        if not self._replay.get(node_id) or node_id in self._replaying:
+            return
+        self._replaying.add(node_id)
+        self.runtime.sim.process(
+            self._replay_body(node_id), name=f"{self.name}-replay-{node_id}"
+        )
+
+    def _replay_body(self, node_id: int):
+        """Drain the replay queue for a recovered primary, in FIFO order."""
+        records = self._replay.get(node_id)
+        client = self.runtime.client(node_id)
+        try:
+            while records:
+                part_index, op, args, token = records[0]
+                try:
+                    yield from client.call(
+                        node_id,
+                        f"{self.name}.{op}:replica",
+                        (part_index, *args),
+                        token=token,
+                    )
+                except ConnectionError:
+                    # Crashed again mid-replay; the remaining records stay
+                    # queued and the next recovery hook resumes the drain.
+                    return
+                records.pop(0)
+                self.replayed_writes.add(1)
+        finally:
+            self._replaying.discard(node_id)
 
     def _execute_async(self, rank: int, part: Partition, op: str, args: tuple,
                        payload_bytes: int) -> RPCFuture:

@@ -25,7 +25,7 @@ Receives match on (source, tag) with MPI's ``ANY`` wildcards.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Tuple
 
 from repro.serialization.databox import estimate_size
 from repro.simnet.core import Event

@@ -14,7 +14,7 @@ modeled by a migration lock that only push handlers take.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence
 
 from repro.core.container import DistributedContainer, Partition
 from repro.rpc.future import RPCFuture

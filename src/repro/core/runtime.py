@@ -49,11 +49,14 @@ class HCL:
         provider: str = "roce",
         rpc_batch_size: int = 1,
         persist_dir: Optional[str] = None,
+        fault_plan=None,
     ):
         if isinstance(spec_or_cluster, Cluster):
             self.cluster = spec_or_cluster
         else:
             self.cluster = Cluster(spec_or_cluster, provider=provider)
+        if fault_plan is not None:
+            self.cluster.install_faults(fault_plan)
         self.sim = self.cluster.sim
         self.gas = GlobalAddressSpace()
         self._servers: Dict[int, RpcServer] = {
@@ -139,6 +142,7 @@ class HCL:
         persistence: bool = False,
         relaxed_persistence: bool = False,
         concurrency: str = "lockfree",
+        write_failover: bool = False,
         recover: bool = False,
     ) -> HCLUnorderedMap:
         """An ``HCL::unordered_map`` distributed over ``partitions`` nodes."""
@@ -151,7 +155,7 @@ class HCL:
         container = HCLUnorderedMap(
             self, name, parts, hash_fn=hash_fn, codec=codec,
             replication=replication, persistence=persistence,
-            concurrency=concurrency,
+            concurrency=concurrency, write_failover=write_failover,
         )
         self.containers[name] = container
         if recover:
@@ -172,6 +176,7 @@ class HCL:
         persistence: bool = False,
         relaxed_persistence: bool = False,
         concurrency: str = "lockfree",
+        write_failover: bool = False,
         recover: bool = False,
     ) -> HCLUnorderedSet:
         count = partitions if partitions is not None else self.num_nodes
@@ -183,7 +188,7 @@ class HCL:
         container = HCLUnorderedSet(
             self, name, parts, hash_fn=hash_fn, codec=codec,
             replication=replication, persistence=persistence,
-            concurrency=concurrency,
+            concurrency=concurrency, write_failover=write_failover,
         )
         self.containers[name] = container
         if recover:
@@ -204,6 +209,7 @@ class HCL:
         persistence: bool = False,
         relaxed_persistence: bool = False,
         concurrency: str = "lockfree",
+        write_failover: bool = False,
         recover: bool = False,
     ) -> HCLMap:
         """An ``HCL::map`` (ordered) distributed by key-space partitioning."""
@@ -216,7 +222,7 @@ class HCL:
         container = HCLMap(
             self, name, parts, partitioner=partitioner, less=less, codec=codec,
             replication=replication, persistence=persistence,
-            concurrency=concurrency,
+            concurrency=concurrency, write_failover=write_failover,
         )
         self.containers[name] = container
         if recover:
@@ -237,6 +243,7 @@ class HCL:
         persistence: bool = False,
         relaxed_persistence: bool = False,
         concurrency: str = "lockfree",
+        write_failover: bool = False,
         recover: bool = False,
     ) -> HCLSet:
         count = partitions if partitions is not None else self.num_nodes
@@ -248,7 +255,7 @@ class HCL:
         container = HCLSet(
             self, name, parts, partitioner=partitioner, less=less, codec=codec,
             replication=replication, persistence=persistence,
-            concurrency=concurrency,
+            concurrency=concurrency, write_failover=write_failover,
         )
         self.containers[name] = container
         if recover:

@@ -107,6 +107,17 @@ class Nic:
         except KeyError:
             raise KeyError(f"no region {name!r} on node {self.node_id}") from None
 
+    def drop_pending(self) -> int:
+        """Discard queued-but-unserved receive work (crash injection).
+
+        Requests already being executed by a worker complete (they finished
+        "just before" the crash in the warm-memory fail-stop model); only
+        work still sitting in the receive queue is lost.  Clients retry.
+        """
+        lost = len(self.recv_queue)
+        self.recv_queue._items.clear()
+        return lost
+
     # -- service-time helpers (generators run by verbs layer) -----------------
     def serve_verb(self, service_time: Optional[float] = None):
         """Occupy one NIC core for a verb's processing time."""

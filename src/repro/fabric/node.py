@@ -59,6 +59,9 @@ class Node:
         #: failure-injection flag; RPC/verbs to a dead node raise
         #: :class:`NodeDownError` at the caller.
         self.alive = True
+        #: zero-arg hooks fired when the node comes back up (containers
+        #: register write-replay here; see ``DistributedContainer``)
+        self.on_recover: list = []
 
     # -- failure injection --------------------------------------------------
     def fail(self) -> None:
@@ -67,6 +70,8 @@ class Node:
 
     def recover(self) -> None:
         self.alive = True
+        for hook in list(self.on_recover):
+            hook()
 
     # -- memory accounting ---------------------------------------------------
     def allocate(self, nbytes: int, what: str = "") -> None:

@@ -41,6 +41,21 @@ class Cluster:
         self.switch = Switch(self.sim, cost, self.spec.nodes,
                              oversubscription=oversubscription)
         self._qps: Dict[int, QueuePair] = {}
+        #: active fault injector, or None for a fair-weather fabric — the
+        #: RPC layer only arms its timeout/retry machinery when this is set
+        #: (so fault-free runs stay bit-identical to the classic protocol)
+        self.faults = None
+
+    # -- fault injection ------------------------------------------------------
+    def install_faults(self, plan):
+        """Install a :class:`~repro.fabric.faults.FaultPlan`; returns the
+        live :class:`~repro.fabric.faults.FaultInjector`."""
+        from repro.fabric.faults import FaultInjector
+
+        if self.faults is not None:
+            raise RuntimeError("a fault plan is already installed")
+        self.faults = FaultInjector(self, plan)
+        return self.faults
 
     # -- structure -------------------------------------------------------------
     def node(self, node_id: int) -> Node:

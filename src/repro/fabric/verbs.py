@@ -56,6 +56,10 @@ class QueuePair:
             src_node.egress.account(msg)
             src_node.ingress.account(msg)
         else:
+            faults = self.cluster.faults
+            if faults is not None:
+                # May delay, schedule a duplicate, or raise FabricDropped.
+                yield from faults.outbound(msg)
             yield from transfer(src_node.egress, dst_node.ingress, msg,
                                 switch=self.cluster.switch)
 
@@ -129,6 +133,9 @@ class QueuePair:
             src_node.egress.account(msg)
             src_node.ingress.account(msg)
         else:
+            faults = self.cluster.faults
+            if faults is not None:
+                yield from faults.outbound(msg)
             yield from transfer(dst_node.egress, src_node.ingress, msg,
                                 switch=self.cluster.switch)
 

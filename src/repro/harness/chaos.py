@@ -1,0 +1,233 @@
+"""Chaos soak: paper workloads under a seeded fault plan, with an
+acked-write ledger.
+
+The harness drives scaled-down versions of the Fig-7 application kernels
+(ISx-style keyed inserts + contig-gen-style k-mer counting) against
+replicated HCL maps while a :class:`~repro.fabric.faults.FaultInjector`
+drops, delays and duplicates messages, crashes nodes and partitions the
+switch.  Every write a rank process sees *acknowledged* is recorded; after
+the storm the injector heals the cluster, queued write replays drain, and a
+verification pass reads every acked key back from the (restored) primaries.
+
+The invariant under test is the reliability contract of the hardened RPC +
+failover stack: **no acknowledged write is ever lost, and no retried or
+duplicated mutation is applied twice** (counts stay exact up to operations
+whose ack was lost, which are tracked separately as *indeterminate*).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.config import RetryPolicy, ares_like
+from repro.core.runtime import HCL
+from repro.fabric.faults import PLAN_NAMES, make_plan
+from repro.fabric.topology import Cluster
+
+__all__ = ["run_chaos_soak", "SOAK_PLANS"]
+
+#: plans the CI fault matrix runs (``calm`` is excluded: it injects nothing
+#: by design, so the nonzero-faults assertion would reject it)
+SOAK_PLANS = tuple(p for p in PLAN_NAMES if p != "calm")
+
+
+def _stable_hash(key) -> int:
+    """PYTHONHASHSEED-independent key hash (str keys included)."""
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+def _soak_retry_policy() -> RetryPolicy:
+    """A deliberately *modest* budget: enough retransmissions to ride out
+    packet loss and short partitions, small enough that a crashed primary
+    exhausts it and exercises the write-failover path."""
+    return RetryPolicy(
+        timeout=50e-6,
+        max_retries=5,
+        backoff_base=10e-6,
+        backoff_factor=2.0,
+        backoff_max=120e-6,
+    )
+
+
+def run_chaos_soak(
+    plan: str = "mixed",
+    seed: int = 0,
+    nodes: int = 3,
+    procs_per_node: int = 2,
+    keys_per_rank: int = 24,
+    kmers_per_rank: int = 16,
+    horizon: float = 2e-3,
+    retry: Optional[RetryPolicy] = None,
+) -> Dict:
+    """Run one seeded chaos soak; returns the metrics/verdict report dict.
+
+    ``report["ok"]`` is True iff no acked write was lost, no mutation was
+    double-applied, and the injector actually injected something.
+    """
+    import random
+
+    spec = ares_like(nodes=nodes, procs_per_node=procs_per_node, seed=seed)
+    spec = spec.scaled(
+        cost=replace(spec.cost, retry=retry or _soak_retry_policy())
+    )
+    cluster = Cluster(spec)
+    injector = cluster.install_faults(make_plan(plan, nodes, horizon=horizon))
+    h = HCL(cluster)
+    keys = h.unordered_map(
+        "soak_keys", replication=1, write_failover=True, hash_fn=_stable_hash
+    )
+    counts = h.unordered_map(
+        "soak_counts", replication=1, write_failover=True,
+        hash_fn=_stable_hash,
+    )
+
+    nranks = spec.total_procs
+    #: (rank, i) -> bucket value, recorded only after the insert's ack
+    acked_inserts: Dict = {}
+    failed_writes = [0]
+    #: kmer -> number of *acknowledged* upserts
+    acked_counts: Dict[str, int] = {}
+    #: kmer -> upserts whose ack was lost (may or may not have applied)
+    indeterminate: Dict[str, int] = {}
+    kmer_space = max(8, nranks * kmers_per_rank // 4)  # force collisions
+
+    def rank_body(rank: int):
+        rng = random.Random((seed << 16) ^ rank)
+        # -- phase 1: ISx-style keyed inserts (idempotent payloads) --------
+        for i in range(keys_per_rank):
+            bucket = rng.randrange(1 << 20)
+            try:
+                yield from keys.insert(rank, (rank, i), bucket)
+            except ConnectionError:
+                failed_writes[0] += 1
+                continue
+            acked_inserts[(rank, i)] = bucket
+        # -- phase 2: contig-gen-style k-mer counting (upserts) ------------
+        for _ in range(kmers_per_rank):
+            kmer = f"k{rng.randrange(kmer_space)}"
+            try:
+                yield from counts.upsert(rank, kmer, 1)
+            except ConnectionError:
+                # The ack was lost: the increment may or may not have
+                # landed.  Exactly-once is only claimed for *acked* writes.
+                indeterminate[kmer] = indeterminate.get(kmer, 0) + 1
+                failed_writes[0] += 1
+                continue
+            acked_counts[kmer] = acked_counts.get(kmer, 0) + 1
+
+    h.run_ranks(rank_body, ranks=range(nranks))
+    storm_time = h.now
+
+    # After the storm: restore every node (firing replay hooks) and let the
+    # queued write replays drain onto the restarted primaries.
+    injector.heal()
+    cluster.run()
+
+    # -- verification pass: read every acked key back from the primary -----
+    lost = []
+    overcounted = []
+    verified = [0]
+
+    def verify_body(rank: int):
+        for key, expect in sorted(acked_inserts.items()):
+            value, found = yield from keys.find(rank, key)
+            if not found or value != expect:
+                lost.append(["insert", list(key), expect,
+                             value if found else None])
+            verified[0] += 1
+        for kmer in sorted(set(acked_counts) | set(indeterminate)):
+            value, found = yield from counts.find(rank, kmer)
+            have = value if found else 0
+            floor = acked_counts.get(kmer, 0)
+            ceiling = floor + indeterminate.get(kmer, 0)
+            if have < floor:
+                lost.append(["upsert", kmer, floor, have])
+            elif have > ceiling:
+                overcounted.append(["upsert", kmer, ceiling, have])
+            verified[0] += 1
+
+    h.run_ranks(verify_body, ranks=range(1))
+
+    clients = list(h._clients.values())
+    servers = list(h._servers.values())
+    acked_total = len(acked_inserts) + sum(acked_counts.values())
+    report = {
+        "plan": plan,
+        "seed": seed,
+        "nodes": nodes,
+        "procs_per_node": procs_per_node,
+        "sim_time_storm": storm_time,
+        "sim_time_total": h.now,
+        "injected": injector.counters(),
+        "injected_total": injector.injected_total(),
+        "rpc": {
+            "invocations": int(sum(c.invocations.value for c in clients)),
+            "retries": int(sum(c.retries.value for c in clients)),
+            "timeouts": int(sum(c.timeouts.value for c in clients)),
+            "exhausted": int(sum(c.exhausted.value for c in clients)),
+            "duplicates_suppressed": int(
+                sum(s.duplicates_suppressed.value for s in servers)
+            ),
+        },
+        "failover": {
+            "reads": int(keys.failover_reads.value
+                         + counts.failover_reads.value),
+            "writes": int(keys.failover_writes.value
+                          + counts.failover_writes.value),
+            "replayed": int(keys.replayed_writes.value
+                            + counts.replayed_writes.value),
+        },
+        "acked_writes": acked_total,
+        "failed_writes": failed_writes[0],
+        "indeterminate_writes": int(sum(indeterminate.values())),
+        "verified_reads": verified[0],
+        "lost_acked_writes": len(lost),
+        "duplicate_mutations": len(overcounted),
+        "lost_detail": lost[:16],
+        "overcount_detail": overcounted[:16],
+    }
+    report["ok"] = (
+        not lost
+        and not overcounted
+        and acked_total > 0
+        # the calm plan is the armed-but-quiet control: zero injections is
+        # its expected outcome, not a failed experiment
+        and (plan == "calm" or report["injected_total"] > 0)
+    )
+    h.close()
+    return report
+
+
+def render_report(report: Dict) -> str:
+    """One-paragraph human summary of a soak report."""
+    inj = report["injected"]
+    lines = [
+        f"chaos-soak plan={report['plan']} seed={report['seed']} "
+        f"nodes={report['nodes']}x{report['procs_per_node']}",
+        f"  injected: {report['injected_total']} "
+        f"(drops={inj['drops']} dups={inj['dups']} delays={inj['delays']} "
+        f"crashes={inj['crashes']} partition_drops={inj['partition_drops']})",
+        f"  rpc: {report['rpc']['invocations']} invocations, "
+        f"{report['rpc']['retries']} retries, "
+        f"{report['rpc']['exhausted']} exhausted, "
+        f"{report['rpc']['duplicates_suppressed']} duplicates suppressed",
+        f"  failover: {report['failover']['writes']} writes, "
+        f"{report['failover']['reads']} reads, "
+        f"{report['failover']['replayed']} replayed",
+        f"  writes: {report['acked_writes']} acked, "
+        f"{report['failed_writes']} failed, "
+        f"{report['indeterminate_writes']} indeterminate",
+        f"  verdict: lost_acked={report['lost_acked_writes']} "
+        f"double_applied={report['duplicate_mutations']} "
+        f"=> {'OK' if report['ok'] else 'FAIL'}",
+    ]
+    return "\n".join(lines)
+
+
+def emit_report(report: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -9,7 +9,7 @@ each test ten times, and we report the average" (scaled down by default).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.simnet.stats import summarize
 

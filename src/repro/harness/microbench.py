@@ -15,9 +15,8 @@ Used by ``python -m repro.cli microbench`` and the calibration tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
-from repro.config import ClusterSpec, KB, MB, ares_like
+from repro.config import ClusterSpec, MB, ares_like
 from repro.fabric import Cluster
 
 __all__ = ["MicrobenchReport", "run_microbench"]

@@ -8,7 +8,7 @@ EXPERIMENTS.md evidence.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 __all__ = ["render_table", "render_series", "ratio", "fmt_si"]
 

@@ -9,7 +9,7 @@ its ``nbytes`` without materializing megabytes per op.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Tuple
 
 import numpy as np

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.fabric.node import Node
-from repro.memory.allocator import Allocator, AllocationError
+from repro.memory.allocator import Allocator
 from repro.memory.persistent import PersistentLog
 
 __all__ = ["MemorySegment"]

@@ -14,6 +14,21 @@ protocol process completes the future:
 ``call()`` is the synchronous convenience: ``result = yield from
 client.call(...)``.
 
+**Reliability contract.**  On a fair-weather fabric (no fault plan
+installed, target alive) the protocol above runs verbatim — no timers, no
+tokens, bit-identical results to the classic stub.  When the cluster has a
+:class:`~repro.fabric.faults.FaultInjector` installed, or the target is
+known-dead, the stub switches to Mercury-style hardened delivery governed
+by :class:`~repro.config.RetryPolicy` (``cost.retry``):
+
+* every attempt gets a per-QP completion **timeout**;
+* failed attempts (wire drop, crash, timeout) are retransmitted with
+  **exponential backoff** up to a bounded **retry budget**;
+* each hardened request carries an **idempotency token** so a duplicated
+  or retransmitted mutation applies exactly once at the server;
+* after budget exhaustion the caller sees
+  :class:`~repro.rpc.future.TargetUnavailable`.
+
 The hybrid data access model lives one layer up (``repro.core.container``):
 a container only builds an RpcClient invocation for *remote* partitions.
 """
@@ -22,7 +37,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.rpc.future import RemoteError, RPCFuture
+from repro.fabric.faults import FabricDropped
+from repro.rpc.future import RemoteError, RPCFuture, TargetUnavailable
 from repro.rpc.server import RpcRequest, RpcServer
 from repro.serialization.databox import estimate_size
 from repro.simnet.stats import Counter, Histogram
@@ -44,6 +60,16 @@ class RpcClient:
         self.qp = cluster.qp(src_node)
         self.invocations = Counter(f"rpcc{src_node}/invocations")
         self.latency = Histogram(f"rpcc{src_node}/latency")
+        # -- reliability observability --------------------------------------
+        self.retries = Counter(f"rpcc{src_node}/retries")
+        self.timeouts = Counter(f"rpcc{src_node}/timeouts")
+        self.exhausted = Counter(f"rpcc{src_node}/exhausted")
+        self._token_seq = 0
+
+    def next_token(self) -> Tuple[int, int]:
+        """A fresh idempotency token (unique per client, stable per run)."""
+        self._token_seq += 1
+        return (self.src_node, self._token_seq)
 
     # -- core API -----------------------------------------------------------
     def invoke(
@@ -53,12 +79,18 @@ class RpcClient:
         args: Sequence[Any] = (),
         payload_size: Optional[int] = None,
         callbacks: Optional[List[Tuple[str, Sequence[Any]]]] = None,
+        token: Optional[Tuple[int, int]] = None,
     ) -> RPCFuture:
         """Fire-and-return: asynchronous invocation of ``op`` on ``dst_node``.
 
         ``payload_size`` overrides the marshalled-size estimate — containers
         pass the DataBox wire size of the actual entry so that simulated
         transfer cost tracks operation size, without re-encoding values.
+
+        ``token`` pins the idempotency token; callers that may re-issue the
+        same logical mutation through a *different* invocation (container
+        write replay after a crash) pass the original token so the server
+        dedups across both.
         """
         server = self.servers.get(dst_node)
         if server is None:
@@ -71,6 +103,7 @@ class RpcClient:
             src_node=self.src_node,
             slot=slot,
             callbacks=list(callbacks or []),
+            token=token,
         )
         size = payload_size if payload_size is not None else sum(
             estimate_size(a) for a in args
@@ -90,9 +123,10 @@ class RpcClient:
         args: Sequence[Any] = (),
         payload_size: Optional[int] = None,
         callbacks: Optional[List[Tuple[str, Sequence[Any]]]] = None,
+        token: Optional[Tuple[int, int]] = None,
     ):
         """Generator: synchronous invoke — yields until the result arrives."""
-        fut = self.invoke(dst_node, op, args, payload_size, callbacks)
+        fut = self.invoke(dst_node, op, args, payload_size, callbacks, token)
         yield fut.wait()
         return fut.result
 
@@ -113,20 +147,29 @@ class RpcClient:
                 self.cost.rpc_client_overhead + self.cost.serialize(size)
             )
             target = self.cluster.node(dst_node)
-            if not target.alive:
-                from repro.fabric.node import NodeDownError
-
-                # A dead target: the QP times out after the retry budget.
-                yield self.sim.timeout(4 * self.cost.link_latency)
-                raise NodeDownError(f"node {dst_node} is down")
-            # 1-2. RDMA_SEND into the request buffer / NIC work queue.
-            yield from self.qp.send(dst_node, req, size)
-            # 3-6. server executes; we learn the response size from the CQE.
-            response_size = yield completion
-            # 7. client pull: RDMA_READ from the response buffer.
-            envelope = yield from self.qp.rdma_read(
-                dst_node, RpcServer.RESPONSE_REGION, req.slot, response_size
-            )
+            hardened = self.cluster.faults is not None or not target.alive
+            if not hardened:
+                # Fair-weather fast path: the classic three-step protocol,
+                # no timers, no retransmission — bit-identical to the
+                # pre-chaos stub.
+                # 1-2. RDMA_SEND into the request buffer / NIC work queue.
+                yield from self.qp.send(dst_node, req, size)
+                # 3-6. server executes; the CQE carries the response size.
+                response_size = yield completion
+                # 7. client pull: RDMA_READ from the response buffer.
+                envelope = yield from self.qp.rdma_read(
+                    dst_node, RpcServer.RESPONSE_REGION, req.slot,
+                    response_size,
+                )
+            else:
+                if req.token is None:
+                    req.token = self.next_token()
+                response_size = yield from self._send_with_retry(
+                    dst_node, target, req, size, completion
+                )
+                envelope = yield from self._pull_with_retry(
+                    dst_node, req, response_size
+                )
             if envelope is None:
                 raise RemoteError(req.op, "response slot empty")
             if not envelope["ok"]:
@@ -138,3 +181,62 @@ class RpcClient:
                 fut._complete(envelope["value"])
         except BaseException as err:  # noqa: BLE001 - settle the future
             fut._error(err)
+
+    # -- hardened delivery ----------------------------------------------------
+    def _send_with_retry(self, dst_node, target, req, size, completion):
+        """Deliver ``req`` and wait for its completion under the retry budget.
+
+        The completion event is shared across attempts: whichever delivered
+        copy the server executes first signals it (later copies dedup on the
+        idempotency token).  Returns the response size from the CQE.
+        """
+        policy = self.cost.retry
+        attempts = policy.max_retries + 1
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                self.retries.add(1)
+                yield self.sim.timeout(policy.backoff(attempt - 1))
+            if completion.triggered:
+                return completion.value
+            sent = False
+            if target.alive or self.cluster.faults is not None:
+                try:
+                    yield from self.qp.send(dst_node, req, size)
+                    sent = True
+                except FabricDropped:
+                    # Transport-level NACK: retransmit after backoff.
+                    continue
+            else:
+                # Known-dead target on a fault-free fabric: nothing to put
+                # the request into — burn one timeout slot ("port down"),
+                # then retry per the budget in case the node recovers.
+                yield self.sim.timeout(policy.timeout)
+            if sent:
+                if completion.triggered:
+                    return completion.value
+                timer = self.sim.timeout(policy.timeout)
+                index, value = yield self.sim.any_of([completion, timer])
+                if index == 0:
+                    return value
+                self.timeouts.add(1)
+        self.exhausted.add(1)
+        raise TargetUnavailable(req.op, dst_node, attempts, "request")
+
+    def _pull_with_retry(self, dst_node, req, response_size):
+        """RDMA_READ of the response slot, retried on wire drops."""
+        policy = self.cost.retry
+        attempts = policy.max_retries + 1
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                self.retries.add(1)
+                yield self.sim.timeout(policy.backoff(attempt - 1))
+            try:
+                envelope = yield from self.qp.rdma_read(
+                    dst_node, RpcServer.RESPONSE_REGION, req.slot,
+                    response_size,
+                )
+                return envelope
+            except FabricDropped:
+                continue
+        self.exhausted.add(1)
+        raise TargetUnavailable(req.op, dst_node, attempts, "response")

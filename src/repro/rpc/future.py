@@ -13,9 +13,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro.fabric.node import NodeDownError
 from repro.simnet.core import Event, Simulator
 
-__all__ = ["RPCFuture", "RemoteError"]
+__all__ = ["RPCFuture", "RemoteError", "TargetUnavailable"]
 
 
 class RemoteError(RuntimeError):
@@ -25,6 +26,26 @@ class RemoteError(RuntimeError):
         super().__init__(f"remote handler {op!r} failed: {original}")
         self.op = op
         self.original = original
+
+
+class TargetUnavailable(NodeDownError):
+    """The retry budget for an invocation is exhausted.
+
+    Surfaced to callers after ``1 + RetryPolicy.max_retries`` attempts all
+    failed (dropped on the wire, target crashed, or completion timed out).
+    Subclasses :class:`~repro.fabric.node.NodeDownError` (a
+    ``ConnectionError``) so container-level failover catches it.
+    """
+
+    def __init__(self, op: str, dst_node: int, attempts: int, phase: str):
+        super().__init__(
+            f"rpc {op!r} to node {dst_node}: target unavailable after "
+            f"{attempts} attempts ({phase})"
+        )
+        self.op = op
+        self.dst_node = dst_node
+        self.attempts = attempts
+        self.phase = phase
 
 
 class RPCFuture:

@@ -19,6 +19,7 @@ memory cost, and receive an :class:`RpcContext` first argument.
 from __future__ import annotations
 
 import inspect
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional
 
 from repro.fabric.node import Node
@@ -27,19 +28,31 @@ from repro.simnet.stats import Counter, Histogram
 
 __all__ = ["RpcServer", "RpcContext", "RpcRequest"]
 
+#: sentinel parked in the dedup table while a tokened request executes, so
+#: a duplicate arriving mid-execution is suppressed instead of re-run
+_IN_FLIGHT = object()
+
+#: bound on remembered idempotency tokens (oldest evicted first)
+_DEDUP_CAPACITY = 8192
+
 
 class RpcRequest:
     """In-flight request, carried as SEND payload through the fabric."""
 
-    __slots__ = ("op", "args", "src_node", "slot", "response_size_hint", "callbacks")
+    __slots__ = ("op", "args", "src_node", "slot", "response_size_hint",
+                 "callbacks", "token")
 
-    def __init__(self, op, args, src_node, slot, response_size_hint=0, callbacks=None):
+    def __init__(self, op, args, src_node, slot, response_size_hint=0,
+                 callbacks=None, token=None):
         self.op = op
         self.args = args
         self.src_node = src_node
         self.slot = slot
         self.response_size_hint = response_size_hint
         self.callbacks = callbacks or []
+        #: idempotency token ``(src_node, seq)`` — set only on hardened
+        #: (retry-capable) invocations; ``None`` on the fair-weather path
+        self.token = token
 
 
 class RpcContext:
@@ -96,6 +109,10 @@ class RpcServer:
         self.requests_served = Counter(f"rpc{node.node_id}/served")
         self.batches = Counter(f"rpc{node.node_id}/batches")
         self.exec_time = Histogram(f"rpc{node.node_id}/exec")
+        self.duplicates_suppressed = Counter(f"rpc{node.node_id}/dups_suppressed")
+        #: token -> _IN_FLIGHT | (envelope, completion_size); insertion-ordered
+        #: so eviction drops the oldest settled tokens first
+        self._dedup: "OrderedDict[Any, Any]" = OrderedDict()
         self._stopped = False
         n_workers = workers if workers is not None else 2 * self.cost.nic_cores
         for i in range(n_workers):
@@ -167,6 +184,25 @@ class RpcServer:
 
     def _execute(self, req: RpcRequest):
         t0 = self.sim.now
+        if req.token is not None:
+            cached = self._dedup.get(req.token)
+            if cached is _IN_FLIGHT:
+                # Duplicate while the original executes: the original will
+                # deposit the envelope and signal the (shared) completion.
+                self.duplicates_suppressed.add(1)
+                return
+            if cached is not None:
+                # Retransmit after execution: re-deposit the recorded
+                # envelope and re-signal, without re-running the handler —
+                # this is what makes retried mutations exactly-once.
+                envelope, completion_size = cached
+                self.response_region.put_object(req.slot, envelope)
+                self.duplicates_suppressed.add(1)
+                completion = self._completions.pop(req.slot, None)
+                if completion is not None:
+                    completion.succeed(completion_size)
+                return
+            self._dedup[req.token] = _IN_FLIGHT
         fn = self.registry.get(req.op)
         ctx = RpcContext(self, req.src_node, req.op)
         result: Any
@@ -208,8 +244,13 @@ class RpcServer:
         self.response_region.put_object(req.slot, envelope)
         self.requests_served.add(1)
         self.exec_time.observe(self.sim.now - t0)
+        completion_size = max(
+            64, estimate_size(result) + 32 if failed is None else 128
+        )
+        if req.token is not None:
+            self._dedup[req.token] = (envelope, completion_size)
+            while len(self._dedup) > _DEDUP_CAPACITY:
+                self._dedup.popitem(last=False)
         completion = self._completions.pop(req.slot, None)
         if completion is not None:
-            completion.succeed(
-                max(64, estimate_size(result) + 32 if failed is None else 128)
-            )
+            completion.succeed(completion_size)

@@ -20,7 +20,7 @@ Payloads are encoded with the msgpack-like codec per field, except raw
 from __future__ import annotations
 
 import struct
-from typing import Any, Dict, List, Sequence
+from typing import Any, List, Sequence
 
 from repro.serialization.msgpack_like import pack as _mp_pack, unpack as _mp_unpack
 

@@ -13,7 +13,7 @@ paper's point is only that DataBox can plug different backends.
 from __future__ import annotations
 
 import struct
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Tuple
 
 __all__ = ["MsgpackCodec", "pack", "unpack"]
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Callable, Deque, Optional
+from typing import Any, Deque, Optional
 
 from repro.simnet.core import Event, SimulationError, Simulator
 

@@ -8,7 +8,7 @@ synchronous barriers that the BCL baseline needs and HCL avoids.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque
 
 from repro.simnet.core import Event, SimulationError, Simulator
 

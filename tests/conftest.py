@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import CostModel, ClusterSpec, ares_like
+from repro.config import ClusterSpec, ares_like
 from repro.core import HCL
 from repro.fabric import Cluster
 from repro.simnet import Simulator

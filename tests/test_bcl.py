@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bcl import BCL, BCLOutOfMemory
-from repro.config import ares_like
 from repro.fabric import Cluster
 
 

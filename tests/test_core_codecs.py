@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import ares_like
 from repro.core import HCL
 from repro.memory import PersistentLog
 from repro.serialization import DataBox

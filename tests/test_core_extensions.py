@@ -3,9 +3,7 @@ partitions, concurrency control, and failure handling with replica reads."""
 
 import pytest
 
-from repro.config import ares_like
 from repro.core import HCL, Collectives
-from repro.fabric.node import NodeDownError
 
 
 class TestCollectives:

@@ -27,7 +27,6 @@ class TestReplication:
 
     def test_replication_is_asynchronous(self, hcl4):
         """The caller does not wait for replicas: time ~ non-replicated."""
-        import copy
 
         def run(replication):
             runtime = HCL(hcl4.spec)

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import HCL
 from repro.core.p2p import ANY_SOURCE, ANY_TAG, Comm
 
 

@@ -1,6 +1,5 @@
 """Tests for HCL::queue and HCL::priority_queue."""
 
-import pytest
 
 from repro.harness import Blob
 

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.config import ares_like
-from repro.core import HCL, Collectives
+from repro.core import Collectives
 
 
 class TestScan:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import CostModel, ares_like
+from repro.config import CostModel
 from repro.fabric import Cluster, Message, Verb
 from repro.fabric.link import transfer
 from repro.fabric.node import OutOfMemoryError

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.bcl import BCL
-from repro.config import ares_like
 from repro.fabric import Cluster, CompletionQueue, QueuePairAsync
 from repro.serialization.msgpack_like import pack, unpack
 

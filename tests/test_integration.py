@@ -1,6 +1,5 @@
 """End-to-end integration tests: the paper's claims at test scale."""
 
-import pytest
 
 from repro.bcl import BCL
 from repro.config import ares_like

@@ -1,7 +1,6 @@
 """Tests for the mmap-backed persistent log (real file I/O)."""
 
 import os
-import struct
 
 import pytest
 

@@ -9,7 +9,6 @@ from repro.serialization import (
     DataBox,
     FlatCodec,
     FlatView,
-    MsgpackCodec,
     SerializationError,
     get_codec,
     list_codecs,
@@ -17,7 +16,7 @@ from repro.serialization import (
     register_custom_type,
 )
 from repro.serialization.cereal_like import SchemaError
-from repro.serialization.databox import clear_custom_types, estimate_size
+from repro.serialization.databox import estimate_size
 from repro.serialization.msgpack_like import pack, unpack
 
 

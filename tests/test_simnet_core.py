@@ -2,16 +2,7 @@
 
 import pytest
 
-from repro.simnet import (
-    AllOf,
-    AnyOf,
-    Event,
-    Interrupt,
-    Process,
-    SimulationError,
-    Simulator,
-    Timeout,
-)
+from repro.simnet import Interrupt, Process, SimulationError
 
 
 class TestEvent:

@@ -15,7 +15,7 @@ import random
 
 import pytest
 
-from repro.simnet.core import Event, Interrupt, Simulator, Timeout
+from repro.simnet.core import Event, Interrupt, Simulator
 from repro.simnet.resources import Resource
 
 # ---------------------------------------------------------------------------

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simnet import Resource, PriorityResource, Store, Container, Simulator
+from repro.simnet import Resource, PriorityResource, Store, Container
 from repro.simnet.core import SimulationError
 
 

@@ -58,9 +58,16 @@ def _reference(graph: nx.Graph, source: int) -> Dict[int, int]:
 
 
 def run_bfs(backend: str, spec: ClusterSpec, graph: nx.Graph,
-            source: int = 0) -> BfsResult:
+            source: int = 0, aggregation: int = 0,
+            read_cache: bool = False) -> BfsResult:
+    """Run level-synchronous BFS.
+
+    HCL-only knobs: ``aggregation`` write-combines the adjacency-load
+    phase; ``read_cache`` caches the (read-only after load) adjacency
+    lists, so frontier expansions re-reading a vertex skip the wire.
+    """
     if backend == "hcl":
-        return _run_hcl(spec, graph, source)
+        return _run_hcl(spec, graph, source, aggregation, read_cache)
     if backend == "bcl":
         return _run_bcl(spec, graph, source)
     raise ValueError(f"unknown backend {backend!r}")
@@ -72,20 +79,28 @@ def _load_phase_items(graph: nx.Graph, rank: int, total: int):
         yield v, sorted(graph.neighbors(v))
 
 
-def _run_hcl(spec: ClusterSpec, graph: nx.Graph, source: int) -> BfsResult:
+def _run_hcl(spec: ClusterSpec, graph: nx.Graph, source: int,
+             aggregation: int = 0, read_cache: bool = False) -> BfsResult:
     hcl = HCL(spec)
-    adj = hcl.unordered_map("bfs.adj", initial_buckets=4096)
+    adj = hcl.unordered_map("bfs.adj", initial_buckets=4096,
+                            aggregation=aggregation, read_cache=read_cache)
     dist = hcl.unordered_map("bfs.dist", initial_buckets=4096)
     coll = Collectives(hcl)
     total = spec.total_procs
     levels_box = {"levels": 0}
 
     def body(rank):
-        # Phase 1: load adjacency (batched per partition).
-        ops = [("insert", v, neighbors)
-               for v, neighbors in _load_phase_items(graph, rank, total)]
-        if ops:
-            yield from adj.batch(rank, ops)
+        # Phase 1: load adjacency — through the write buffers when
+        # aggregation is on (flushed by the barrier), else batched per
+        # partition by the app.
+        if aggregation:
+            for v, neighbors in _load_phase_items(graph, rank, total):
+                yield from adj.insert_buffered(rank, v, neighbors)
+        else:
+            ops = [("insert", v, neighbors)
+                   for v, neighbors in _load_phase_items(graph, rank, total)]
+            if ops:
+                yield from adj.batch(rank, ops)
         yield from coll.barrier(rank)
         # Phase 2: level-synchronous expansion.
         if rank == 0:

@@ -22,7 +22,7 @@ the HCL and BCL runs produce identical contig sets on identical inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set
+from typing import List, Optional, Set
 
 from repro.apps.genome import GenomeData
 from repro.bcl import BCL
@@ -86,6 +86,7 @@ class ContigResult:
     contigs: List[str]
     time_seconds: float
     verified: bool
+    agg_report: Optional[dict] = None  # flush/cache counters when aggregating
 
 
 def _occurrences(data: GenomeData, read: str):
@@ -165,9 +166,18 @@ def _verify(contigs: List[str], data: GenomeData) -> bool:
 
 
 def run_contig_generation(backend: str, spec: ClusterSpec,
-                          data: GenomeData) -> ContigResult:
+                          data: GenomeData, aggregation: int = 0,
+                          read_cache: bool = False) -> ContigResult:
+    """Run the contig kernel.
+
+    HCL-only knobs: ``aggregation`` write-combines the build phase's
+    extension merges (commutative ExtensionPair unions — identical final
+    graph) into one invocation per flush; ``read_cache`` serves repeated
+    traversal lookups (every interior k-mer is read by the seed filter AND
+    the walk) from the epoch-validated locality cache.
+    """
     if backend == "hcl":
-        return _run_hcl(spec, data)
+        return _run_hcl(spec, data, aggregation, read_cache)
     if backend == "bcl":
         return _run_bcl(spec, data)
     raise ValueError(f"unknown backend {backend!r}")
@@ -185,17 +195,26 @@ def _rank_kmers(data: GenomeData, rank: int, total: int) -> List[str]:
     return ordered
 
 
-def _run_hcl(spec: ClusterSpec, data: GenomeData) -> ContigResult:
+def _run_hcl(spec: ClusterSpec, data: GenomeData, aggregation: int = 0,
+             read_cache: bool = False) -> ContigResult:
     hcl = HCL(spec)
     graph = hcl.unordered_map("debruijn", partitions=hcl.num_nodes,
-                              initial_buckets=1024)
+                              initial_buckets=1024, aggregation=aggregation,
+                              read_cache=read_cache)
     total = spec.total_procs
     all_contigs: Set[str] = set()
 
     def build_body(rank):
         for read in data.reads[rank::total]:
             for kmer, left, right in _occurrences(data, read):
-                yield from graph.upsert(rank, kmer, make_pair(left, right))
+                if aggregation:
+                    yield from graph.upsert_buffered(
+                        rank, kmer, make_pair(left, right)
+                    )
+                else:
+                    yield from graph.upsert(rank, kmer, make_pair(left, right))
+        if aggregation:
+            yield from graph.flush(rank)
 
     hcl.run_ranks(build_body)
 
@@ -224,7 +243,8 @@ def _run_hcl(spec: ClusterSpec, data: GenomeData) -> ContigResult:
     hcl.run_ranks(traverse_body)
     contigs = sorted(all_contigs)
     return ContigResult("hcl", hcl.num_nodes, contigs, hcl.now,
-                        _verify(contigs, data))
+                        _verify(contigs, data),
+                        agg_report=graph.aggregation_report() or None)
 
 
 def _run_bcl(spec: ClusterSpec, data: GenomeData) -> ContigResult:

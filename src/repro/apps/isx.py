@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import log2
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -42,6 +42,7 @@ class IsxResult:
     total_keys: int
     time_seconds: float
     verified: bool
+    agg_report: Optional[dict] = None  # summed flush counters when aggregating
 
 
 def _generate_keys(rank: int, keys_per_rank: int, seed: int) -> np.ndarray:
@@ -59,10 +60,17 @@ def run_isx(
     keys_per_rank: int = 128,
     batch: int = 32,
     seed: int = 1,
+    aggregation: int = 0,
 ) -> IsxResult:
-    """Run the ISx kernel on ``backend`` ("hcl" or "bcl")."""
+    """Run the ISx kernel on ``backend`` ("hcl" or "bcl").
+
+    ``aggregation`` (HCL only): scatter keys through per-bucket write
+    buffers instead of the app-managed ``push_many`` blocks — the same
+    keys reach the same buckets (the priority queue sorts on arrival), in
+    one ``batch`` invocation per flush.
+    """
     if backend == "hcl":
-        return _run_hcl(spec, keys_per_rank, batch, seed)
+        return _run_hcl(spec, keys_per_rank, batch, seed, aggregation)
     if backend == "bcl":
         return _run_bcl(spec, keys_per_rank, seed)
     raise ValueError(f"unknown backend {backend!r}")
@@ -82,12 +90,13 @@ def _verify(per_node: List[List[int]], all_keys: List[int], nodes: int) -> bool:
 # -- HCL ----------------------------------------------------------------------
 
 def _run_hcl(spec: ClusterSpec, keys_per_rank: int, batch: int,
-             seed: int) -> IsxResult:
+             seed: int, aggregation: int = 0) -> IsxResult:
     hcl = HCL(spec)
     nodes = hcl.num_nodes
     # Priority-queue coordinate space must cover MAX_KEY.
     buckets = [
-        hcl.priority_queue(f"isx.bucket{i}", home_node=i, dims=9, base=8)
+        hcl.priority_queue(f"isx.bucket{i}", home_node=i, dims=9, base=8,
+                           aggregation=aggregation)
         for i in range(nodes)
     ]
     all_keys: List[int] = []
@@ -95,6 +104,18 @@ def _run_hcl(spec: ClusterSpec, keys_per_rank: int, batch: int,
     def rank_body(rank):
         keys = _generate_keys(rank, keys_per_rank, seed)
         all_keys.extend(int(k) for k in keys)
+        if aggregation:
+            # Scatter through the transparent write buffers: pushes
+            # write-combine per destination bucket and flush as single
+            # batch invocations — no app-managed grouping needed.
+            for key in keys:
+                bucket_id = _bucket_of(int(key), nodes)
+                yield from buckets[bucket_id].push_buffered(
+                    rank, int(key), None
+                )
+            for bucket in buckets:
+                yield from bucket.flush(rank)
+            return len(keys)
         # Distribution phase: group keys by destination bucket, vector-push.
         by_bucket: Dict[int, List[int]] = {}
         for key in keys:
@@ -129,8 +150,19 @@ def _run_hcl(spec: ClusterSpec, keys_per_rank: int, batch: int,
     for p in procs:
         p.result
     elapsed = hcl.now
+    agg = None
+    if aggregation:
+        # One coalescer per bucket queue: sum the flush counters.
+        agg = {"aggregation": {}}
+        for bucket in buckets:
+            for k, v in bucket.aggregation_report()["aggregation"].items():
+                agg["aggregation"][k] = agg["aggregation"].get(k, 0) + v
+        flushes = agg["aggregation"]["flushes"]
+        agg["aggregation"]["ops_per_flush"] = (
+            agg["aggregation"]["flushed_ops"] / flushes if flushes else 0.0
+        )
     return IsxResult("hcl", nodes, len(all_keys), elapsed,
-                     _verify(per_node, all_keys, nodes))
+                     _verify(per_node, all_keys, nodes), agg_report=agg)
 
 
 # -- BCL ----------------------------------------------------------------------

@@ -17,6 +17,7 @@ exact sequential histogram.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.apps.genome import GenomeData, exact_kmer_counts
 from repro.bcl import BCL
@@ -35,6 +36,7 @@ class KmerResult:
     time_seconds: float
     verified: bool
     filtered_kmers: int = 0  # dropped by the min_count noise filter
+    agg_report: Optional[dict] = None  # flush/cache counters when aggregating
 
 
 def _reads_for_rank(data: GenomeData, rank: int, total: int):
@@ -42,15 +44,20 @@ def _reads_for_rank(data: GenomeData, rank: int, total: int):
 
 
 def run_kmer_counting(backend: str, spec: ClusterSpec, data: GenomeData,
-                      min_count: int = 1) -> KmerResult:
+                      min_count: int = 1, aggregation: int = 0) -> KmerResult:
     """Count k-mers on ``backend``.
 
     ``min_count`` is Meraculous's noise filter: k-mers observed fewer than
     ``min_count`` times (mostly sequencing errors when ``error_rate > 0``)
     are dropped from the final histogram.
+
+    ``aggregation`` (HCL only): write-combine up to that many upserts per
+    destination partition into one invocation.  Upserts are commutative,
+    so the final histogram is identical; 0 keeps the classic
+    one-invocation-per-k-mer behavior.
     """
     if backend == "hcl":
-        return _run_hcl(spec, data, min_count)
+        return _run_hcl(spec, data, min_count, aggregation)
     if backend == "bcl":
         return _run_bcl(spec, data, min_count)
     raise ValueError(f"unknown backend {backend!r}")
@@ -69,10 +76,10 @@ def _apply_filter(counts: dict, min_count: int):
 
 
 def _run_hcl(spec: ClusterSpec, data: GenomeData,
-             min_count: int = 1) -> KmerResult:
+             min_count: int = 1, aggregation: int = 0) -> KmerResult:
     hcl = HCL(spec)
     table = hcl.unordered_map("kmers", partitions=hcl.num_nodes,
-                              initial_buckets=1024)
+                              initial_buckets=1024, aggregation=aggregation)
     total_procs = spec.total_procs
     seen = 0
 
@@ -81,8 +88,13 @@ def _run_hcl(spec: ClusterSpec, data: GenomeData,
         count = 0
         for read in _reads_for_rank(data, rank, total_procs):
             for kmer in data.kmers_of_read(read):
-                yield from table.upsert(rank, kmer, 1)
+                if aggregation:
+                    yield from table.upsert_buffered(rank, kmer, 1)
+                else:
+                    yield from table.upsert(rank, kmer, 1)
                 count += 1
+        if aggregation:
+            yield from table.flush(rank)
         seen += count
         return count
 
@@ -90,7 +102,8 @@ def _run_hcl(spec: ClusterSpec, data: GenomeData,
     counts = {k: v for part in table.partitions for k, v in part.structure.items()}
     counts, filtered = _apply_filter(counts, min_count)
     return KmerResult("hcl", hcl.num_nodes, seen, len(counts), hcl.now,
-                      _verify(counts, data, min_count), filtered_kmers=filtered)
+                      _verify(counts, data, min_count), filtered_kmers=filtered,
+                      agg_report=table.aggregation_report() or None)
 
 
 def _run_bcl(spec: ClusterSpec, data: GenomeData,

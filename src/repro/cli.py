@@ -99,6 +99,7 @@ def _cmd_chaos_soak(args) -> int:
             keys_per_rank=args.keys,
             kmers_per_rank=args.kmers,
             horizon=args.horizon,
+            aggregation=args.aggregation,
         )
         print(render_report(report))
         if args.emit:
@@ -210,9 +211,43 @@ def _cmd_kernelbench(args) -> int:
     return 0
 
 
+def _cmd_aggbench(args) -> int:
+    from repro.harness.aggbench import emit_agg_json, run_agg_bench
+
+    report = run_agg_bench(
+        scale=args.scale,
+        nodes=args.nodes,
+        procs_per_node=args.procs,
+        sweep=args.sweep,
+        apps=args.apps,
+        repeats=args.repeats,
+        sim_only=args.sim_only,
+    )
+    print(render_table(
+        f"Aggregation sweep (scale={args.scale}, "
+        f"{args.nodes}x{args.procs} ranks)",
+        ["app", "buffer", "sim (s)", "wall (s)", "ops/s",
+         "ops/flush", "hit rate"],
+        report.table_rows(),
+    ))
+    for app, entry in sorted(report.speedups().items()):
+        metric = "sim" if args.sim_only else "wall"
+        print(f"  {app}: best {metric} speedup "
+              f"{entry.get(f'{metric}_speedup', 0):.2f}x "
+              f"(buffer={entry['aggregation']})")
+    if args.emit:
+        print(f"wrote {emit_agg_json(report, args.emit)}")
+    if args.check:
+        failures = report.check(min_speedup=args.min_speedup)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
 def _cmd_list(args) -> int:
     print("commands: fig1 fig5 fig6 fig7 sweep microbench kernelbench "
-          "chaos-soak list")
+          "aggbench chaos-soak list")
     print("full asserted reproduction: pytest benchmarks/ --benchmark-only -s")
     return 0
 
@@ -266,6 +301,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="k-mer upserts per rank")
     pc.add_argument("--horizon", type=_positive_float, default=2e-3,
                     help="sim-time horizon the fault windows scale to (s)")
+    pc.add_argument("--aggregation", type=int, default=0,
+                    help="run upserts through N-op write-combining buffers "
+                         "and the read cache, asserting never-stale reads")
     pc.add_argument("--emit", nargs="?", const="chaos_soak.json",
                     default=None, metavar="PATH",
                     help="write report JSON (per-plan suffix when multiple)")
@@ -295,6 +333,33 @@ def build_parser() -> argparse.ArgumentParser:
                     default=None, metavar="PATH",
                     help="write the result as JSON (default BENCH_kernel.json)")
     pk.set_defaults(fn=_cmd_kernelbench)
+
+    pa = sub.add_parser(
+        "aggbench",
+        help="A/B the op-coalescing buffers over the Fig-7 apps",
+    )
+    pa.add_argument("--scale", type=_positive_float, default=1.0,
+                    help="work multiplier (genome/keys; default 1.0)")
+    pa.add_argument("--nodes", type=int, default=4)
+    pa.add_argument("--procs", type=int, default=3,
+                    help="rank processes per node")
+    pa.add_argument("--sweep", nargs="+", type=int, default=[0, 8, 64, 512],
+                    help="aggregation buffer sizes (0 = off baseline)")
+    pa.add_argument("--apps", nargs="+",
+                    choices=["kmer", "contig", "isx"],
+                    default=["kmer", "contig", "isx"])
+    pa.add_argument("--repeats", type=int, default=2,
+                    help="wall time takes the best of N runs")
+    pa.add_argument("--sim-only", action="store_true",
+                    help="omit wall-clock fields (deterministic JSON)")
+    pa.add_argument("--emit", nargs="?", const="BENCH_agg.json",
+                    default=None, metavar="PATH",
+                    help="write the sweep as JSON (default BENCH_agg.json)")
+    pa.add_argument("--check", action="store_true",
+                    help="exit 1 unless contig+kmer clear --min-speedup")
+    pa.add_argument("--min-speedup", type=_positive_float, default=1.0,
+                    help="speedup floor for --check (default 1.0)")
+    pa.set_defaults(fn=_cmd_aggbench)
 
     pm = sub.add_parser("microbench", help="OSU-style fabric microbenchmarks")
     pm.add_argument("--provider", default="roce",

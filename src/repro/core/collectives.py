@@ -50,7 +50,13 @@ class Collectives:
 
     # -- barrier --------------------------------------------------------------
     def barrier(self, rank: int):
-        """Generator: wait until every rank has arrived."""
+        """Generator: wait until every rank has arrived.
+
+        A barrier is a mandatory aggregation sync point: any buffered
+        container ops from this rank's node flush (and complete) before the
+        rank arrives, so post-barrier reads observe pre-barrier writes.
+        """
+        yield from self.runtime.flush_containers(rank)
         gen = yield self._barrier.wait()
         return gen
 

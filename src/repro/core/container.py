@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.costs import CostLedger, charge
 from repro.memory.segment import MemorySegment
+from repro.rpc.coalesce import MISS, OpCoalescer, ReadCache
 from repro.rpc.future import RPCFuture
 from repro.serialization.databox import DataBox, estimate_size
 from repro.simnet.stats import Counter
@@ -52,6 +53,8 @@ class Partition:
         self.structure = structure
         self.segment = segment
         self.ops = Counter(f"part{index}/ops")
+        #: monotonic mutation counter; the read cache's staleness authority
+        self.write_epoch = 0
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Partition {self.index} on node {self.node_id}>"
@@ -80,6 +83,9 @@ class DistributedContainer:
         persistence: bool = False,
         concurrency: str = "lockfree",
         write_failover: bool = False,
+        aggregation: int = 0,
+        aggregation_bytes: int = 32 * 1024,
+        read_cache: bool = False,
     ):
         if concurrency not in self.CONCURRENCY_LEVELS:
             raise ValueError(
@@ -87,6 +93,8 @@ class DistributedContainer:
             )
         if write_failover and replication <= 0:
             raise ValueError("write_failover requires replication >= 1")
+        if aggregation < 0:
+            raise ValueError("aggregation must be >= 0 (0 disables buffering)")
         self.runtime = runtime
         self.name = name
         self.partitions: List[Partition] = list(partitions)
@@ -99,6 +107,18 @@ class DistributedContainer:
         #: default — the classic contract is that mutations to a dead
         #: primary fail loudly.
         self.write_failover = write_failover
+        #: request aggregation (Section III-C3 / Table I amortization):
+        #: ``aggregation=N`` write-combines buffered ops into per-(node,
+        #: partition) buffers of up to N ops, flushed as ONE ``batch``
+        #: invocation.  0 (default) keeps the classic one-invocation-per-op
+        #: behavior, bit-identical to an unaggregated build.
+        self._coalescer = (
+            OpCoalescer(self, aggregation, aggregation_bytes)
+            if aggregation else None
+        )
+        #: locality-aware read cache for read-mostly data; epoch-validated
+        #: so a cached read can never observe a stale value.
+        self._cache = ReadCache(name) if read_cache else None
         self.ledger = CostLedger()
         self.local_hits = Counter(f"{name}/local")
         self.remote_calls = Counter(f"{name}/remote")
@@ -157,6 +177,8 @@ class DistributedContainer:
                 )
             try:
                 result, stats, entry_bytes = method(part, *args)
+                if op != "batch" and self._is_mutation(op):
+                    part.write_epoch += 1  # _do_batch bumps per sub-op
                 if stats is not None:
                     # Executed on the NIC core: compute terms run slower.
                     yield from charge(ctx.node, stats, entry_bytes,
@@ -184,16 +206,31 @@ class DistributedContainer:
     def _is_mutation(cls, op: str) -> bool:
         return op not in cls.READ_ONLY_OPS
 
+    #: single-key mutations whose ``args[0]`` is the key — the ops eligible
+    #: for write-through read-cache invalidation (epoch checks remain the
+    #: correctness authority; this is eager cleanup).
+    KEYED_MUTATIONS = frozenset({"insert", "erase", "upsert"})
+
     # -- the hybrid access core -------------------------------------------------
     def _execute(self, rank: int, part: Partition, op: str, args: tuple,
-                 payload_bytes: int):
+                 payload_bytes: int, _drain: bool = True):
         """Generator: run ``op`` on ``part`` from ``rank`` — local or remote.
 
         This is the locality decision of Section III-C5: same node => direct
         shared-memory access (no RPC, no NIC); different node => one RoR
         invocation.
+
+        A synchronous op is a sync point for the aggregation buffers: any
+        ops buffered for this partition flush (and complete) first, so
+        program order per rank is preserved.  ``_drain=False`` is reserved
+        for the coalescer's own flush batches.
         """
         caller_node = self.runtime.cluster.node_of_rank(rank)
+        if self._coalescer is not None and _drain:
+            yield from self._coalescer.drain(rank, part.index)
+        if (self._cache is not None and args
+                and op in self.KEYED_MUTATIONS):
+            self._cache.invalidate_key(caller_node, part.index, args[0])
         if caller_node == part.node_id:
             self.local_hits.add(1)
             node = self.runtime.cluster.node(caller_node)
@@ -203,6 +240,8 @@ class DistributedContainer:
                 yield mutex.acquire()
             try:
                 result, stats, entry_bytes = method(part, *args)
+                if op != "batch" and self._is_mutation(op):
+                    part.write_epoch += 1
                 if stats is not None:
                     yield from charge(node, stats, entry_bytes)
             finally:
@@ -237,6 +276,10 @@ class DistributedContainer:
                 payload_size=payload_bytes,
                 token=token,
             )
+            if self._cache is not None:
+                # Epoch piggybacked on the response: prune entries that
+                # other nodes' writes have made stale.
+                self._cache.observe(caller_node, part.index, part.write_epoch)
             return result
         except ConnectionError:
             # Primary down: replicated containers serve reads from the
@@ -387,6 +430,21 @@ class DistributedContainer:
 
             self.runtime.sim.process(local_body(), name=f"local-{op}")
             return fut
+        if self._coalescer is not None and op != "batch":
+            if (self._cache is not None and args
+                    and op in self.KEYED_MUTATIONS):
+                self._cache.invalidate_key(caller_node, part.index, args[0])
+            # Program order vs. buffered ops: fold this op into a pending
+            # buffer (it rides the flush batch, same single invocation)...
+            folded = self._coalescer.fold(
+                rank, caller_node, part, op, args, payload_bytes
+            )
+            if folded is not None:
+                return folded
+            # ...or, with a flush still in flight to this partition, run
+            # through a drained _execute so it cannot overtake the flush.
+            if self._coalescer.inflight_for(caller_node, part.index):
+                return self._spawn_call(rank, part, op, args, payload_bytes)
         self.remote_calls.add(1)
         client = self.runtime.client(caller_node)
         return client.invoke(
@@ -395,6 +453,74 @@ class DistributedContainer:
             (part.index, *args),
             payload_size=payload_bytes,
         )
+
+    # -- client-side aggregation (Section III-C3, Table I amortization) ----------
+    def _spawn_call(self, rank: int, part: Partition, op: str, args: tuple,
+                    payload_bytes: int, _drain: bool = True) -> RPCFuture:
+        """Run a full-semantics ``_execute`` behind a future.
+
+        Used for coalescer flushes and ordering-sensitive async ops: the
+        spawned process gets the drain/failover/idempotency-token behavior
+        of the synchronous path.
+        """
+        fut = RPCFuture(self.runtime.sim, f"{self.name}.{op}")
+
+        def body():
+            try:
+                value = yield from self._execute(
+                    rank, part, op, args, payload_bytes, _drain=_drain
+                )
+                fut._complete(value)
+            except BaseException as err:  # noqa: BLE001
+                fut._error(err)
+
+        self.runtime.sim.process(body(), name=f"{self.name}-{op}-agg")
+        return fut
+
+    def _spawn_batch(self, rank: int, part: Partition, subops,
+                     payload_bytes: int) -> RPCFuture:
+        """One coalescer flush: ship ``subops`` as a single invocation."""
+        return self._spawn_call(
+            rank, part, "batch", (list(subops),), payload_bytes, _drain=False
+        )
+
+    def _buffer_op(self, rank: int, part: Partition, op: str, args: tuple,
+                   payload_bytes: int):
+        """Generator: write-combine ``op`` when aggregation is on.
+
+        With aggregation off — or for a same-node partition, where the
+        hybrid access model already bypasses the RPC machinery — this is
+        exactly ``_execute``.  Otherwise the op lands in the destination
+        buffer (returning None immediately); it is applied by the next
+        threshold or sync-point flush.
+        """
+        caller_node = self.runtime.cluster.node_of_rank(rank)
+        if self._coalescer is None or caller_node == part.node_id:
+            result = yield from self._execute(
+                rank, part, op, args, payload_bytes
+            )
+            return result
+        if (self._cache is not None and args
+                and op in self.KEYED_MUTATIONS):
+            self._cache.invalidate_key(caller_node, part.index, args[0])
+        self._coalescer.append(
+            rank, caller_node, part, op, args, payload_bytes
+        )
+        return None
+
+    def flush(self, rank: int):
+        """Generator: mandatory sync point — flush and await buffered ops."""
+        if self._coalescer is not None:
+            yield from self._coalescer.drain(rank)
+
+    def aggregation_report(self) -> Dict[str, Any]:
+        """Flush / ops-per-flush / cache-hit counters (Fig-4-style rows)."""
+        report: Dict[str, Any] = {}
+        if self._coalescer is not None:
+            report["aggregation"] = self._coalescer.report()
+        if self._cache is not None:
+            report["read_cache"] = self._cache.report()
+        return report
 
     # -- batched multi-ops -------------------------------------------------------
     # "Callbacks ... are extremely powerful in cases where we want to
@@ -416,6 +542,8 @@ class DistributedContainer:
             if method is None:
                 raise KeyError(f"unknown sub-operation {op!r}")
             result, stats, entry_bytes = method(part, *args)
+            if self._is_mutation(op):
+                part.write_epoch += 1
             results.append(result)
             if stats is not None:
                 total = total.merge(stats)
@@ -427,9 +555,19 @@ class DistributedContainer:
 
         Shared by every container with a ``partition_for`` (hash and
         ordered); results return in the callers' original order.
+
+        With a read cache, ``find`` sub-ops bound for remote partitions are
+        served from cache when the epoch still matches, and misses fill the
+        cache on return.  With ``write_failover``, each per-partition batch
+        runs through the full ``_execute`` semantics so a dead primary
+        fails over to a replica exactly like a single op.
         """
         from repro.serialization.databox import estimate_size
 
+        caller_node = self.runtime.cluster.node_of_rank(rank)
+        if self._coalescer is not None:
+            # A keyed batch is a sync point: buffered ops land first.
+            yield from self._coalescer.drain(rank)
         groups = {}
         for idx, entry in enumerate(ops):
             op, key, *rest = entry
@@ -440,17 +578,52 @@ class DistributedContainer:
         results = [None] * len(ops)
         futures = []
         for part, members in groups.values():
+            epoch_before = part.write_epoch
+            if self._cache is not None and caller_node != part.node_id:
+                pending = []
+                for idx, op, args in members:
+                    if op == "find":
+                        hit = self._cache.lookup(caller_node, part, args[0])
+                        if hit is not MISS:
+                            results[idx] = hit
+                            continue
+                    elif op in self.KEYED_MUTATIONS:
+                        self._cache.invalidate_key(
+                            caller_node, part.index, args[0]
+                        )
+                    pending.append((idx, op, args))
+                members = pending
+                if not members:
+                    continue
             subops = [(op, args) for _idx, op, args in members]
             payload = sum(
                 sum(estimate_size(a) for a in args)
                 for _i, _op, args in members
             )
-            fut = self._execute_async(rank, part, "batch", (subops,), payload)
-            futures.append((fut, members))
-        for fut, members in futures:
+            if self.write_failover:
+                fut = self._spawn_call(
+                    rank, part, "batch", (subops,), payload, _drain=False
+                )
+            else:
+                fut = self._execute_async(
+                    rank, part, "batch", (subops,), payload
+                )
+            futures.append((fut, members, part, epoch_before))
+        for fut, members, part, epoch_before in futures:
             yield fut.wait()
-            for (idx, _op, _args), result in zip(members, fut.result):
+            cache_remote = (
+                self._cache is not None and caller_node != part.node_id
+            )
+            for (idx, op, args), result in zip(members, fut.result):
                 results[idx] = result
+                if cache_remote and op == "find":
+                    self._cache.fill(
+                        caller_node, part, args[0], result, epoch_before
+                    )
+            if cache_remote:
+                self._cache.observe(
+                    caller_node, part.index, part.write_epoch
+                )
         return results
 
     # -- replication ----------------------------------------------------------------
@@ -472,6 +645,8 @@ class DistributedContainer:
                 # Same node: apply directly (no network), zero-cost async.
                 method = getattr(self, f"_do_{op}")
                 method(replica, *args)
+                if op != "batch":
+                    replica.write_epoch += 1
             else:
                 client.invoke(
                     replica.node_id,
@@ -500,6 +675,8 @@ class DistributedContainer:
         def handler(ctx, part_index, *args):
             part = self.partitions[part_index]
             result, stats, entry_bytes = method(part, *args)
+            if op != "batch":
+                part.write_epoch += 1  # replica handlers are all mutations
             if stats is not None:
                 yield from charge(ctx.node, stats, entry_bytes,
                                   cpu_factor=ctx.cost.nic_compute_factor)
@@ -534,6 +711,8 @@ class DistributedContainer:
                         f"log for {self.name!r} contains unknown op {op!r}"
                     )
                 method(part, *args)
+                if op != "batch":
+                    part.write_epoch += 1
                 replayed += 1
         return replayed
 
@@ -581,6 +760,14 @@ class DistributedContainer:
         return sum(estimate_size(v) for v in values)
 
     def close(self) -> None:
+        if self._coalescer is not None:
+            pending = self._coalescer.pending_total()
+            if pending:
+                raise RuntimeError(
+                    f"container {self.name!r} destroyed with {pending} "
+                    "buffered operation(s) unflushed; yield from "
+                    "container.flush(rank) (or hit a barrier) before close"
+                )
         for part in self.partitions:
             part.segment.close()
 

@@ -13,16 +13,29 @@ value bytes simply drop out of the charged sizes.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Callable, Hashable, Iterator, Optional, Tuple
 
 from repro.core.container import DistributedContainer, Partition
+from repro.rpc.coalesce import MISS
 from repro.rpc.future import RPCFuture
 from repro.structures.cuckoo import CuckooHash
 
-__all__ = ["HCLUnorderedMap", "HCLUnorderedSet"]
+__all__ = ["HCLUnorderedMap", "HCLUnorderedSet", "stable_hash"]
 
 _MASK64 = (1 << 64) - 1
 _GOLDEN64 = 0x9E3779B97F4A7C15
+
+
+def stable_hash(key: Hashable) -> int:
+    """Interpreter-stable key hash (crc32 of the repr).
+
+    The default first-level hash: unlike the builtin ``hash``, it does not
+    depend on PYTHONHASHSEED, so partition routing — and therefore every
+    simulated timing — is identical across interpreter invocations.  Pass
+    ``hash_fn`` to override (the ``std::hash<K>`` customization point).
+    """
+    return zlib.crc32(repr(key).encode("utf-8"))
 
 
 class _HashContainerBase(DistributedContainer):
@@ -139,8 +152,92 @@ class _HashContainerBase(DistributedContainer):
             rank, part, "upsert", (key, delta), self._entry_bytes(key, delta)
         )
 
+    def upsert_buffered(self, rank: int, key: Hashable, delta: Any = 1):
+        """Generator: upsert through the aggregation buffer.
+
+        With ``aggregation=0`` this is exactly :meth:`upsert`; otherwise a
+        remote-bound upsert is write-combined and applied at the next
+        threshold or sync-point flush (returning None immediately).  The
+        k-mer/contig build storms' hot path.
+        """
+        part = self.partition_for(key)
+        result = yield from self._buffer_op(
+            rank, part, "upsert", (key, delta),
+            payload_bytes=self._entry_bytes(key, delta),
+        )
+        return result
+
+    def erase_buffered(self, rank: int, key: Hashable):
+        """Generator: erase through the aggregation buffer."""
+        part = self.partition_for(key)
+        result = yield from self._buffer_op(
+            rank, part, "erase", (key,),
+            payload_bytes=self._entry_bytes(key),
+        )
+        return result
+
+    # -- locality-aware cached reads ---------------------------------------
+    def _cached_find(self, rank: int, key: Hashable):
+        """Generator: ``_do_find`` result via the read cache when possible.
+
+        Only remote partitions cache (same-node reads are already direct
+        shared-memory accesses).  Any pending buffered ops for the target
+        partition flush first, then the pre-read epoch is captured so a
+        racing write voids the fill.  Returns the raw find result.
+        """
+        part = self.partition_for(key)
+        caller_node = self.runtime.cluster.node_of_rank(rank)
+        if self._cache is None or caller_node == part.node_id:
+            result = yield from self._execute(
+                rank, part, "find", (key,),
+                payload_bytes=self._entry_bytes(key),
+            )
+            return result
+        if self._coalescer is not None:
+            yield from self._coalescer.drain(rank, part.index)
+        hit = self._cache.lookup(caller_node, part, key)
+        if hit is not MISS:
+            return hit
+        epoch_before = part.write_epoch
+        result = yield from self._execute(
+            rank, part, "find", (key,), payload_bytes=self._entry_bytes(key)
+        )
+        self._cache.fill(caller_node, part, key, result, epoch_before)
+        return result
+
+    def _cached_find_async(self, rank: int, key: Hashable) -> RPCFuture:
+        """Async variant of :meth:`_cached_find`; hits complete instantly."""
+        part = self.partition_for(key)
+        caller_node = self.runtime.cluster.node_of_rank(rank)
+        if self._cache is None or caller_node == part.node_id:
+            return self._execute_async(
+                rank, part, "find", (key,), self._entry_bytes(key)
+            )
+        if (self._coalescer is None
+                or not (self._coalescer.pending_for(caller_node, part.index)
+                        or self._coalescer.inflight_for(caller_node,
+                                                        part.index))):
+            hit = self._cache.lookup(caller_node, part, key)
+            if hit is not MISS:
+                fut = RPCFuture(self.runtime.sim, f"{self.name}.find")
+                fut._complete(hit)
+                return fut
+        epoch_before = part.write_epoch
+        fut = self._execute_async(
+            rank, part, "find", (key,), self._entry_bytes(key)
+        )
+
+        def _fill(event):
+            if event.ok:
+                self._cache.fill(
+                    caller_node, part, key, event.value, epoch_before
+                )
+
+        fut._event.add_callback(_fill)
+        return fut
+
     def __init__(self, runtime, name, partitions, hash_fn=None, **kwargs):
-        self._hash_fn: Callable[[Any], int] = hash_fn or hash
+        self._hash_fn: Callable[[Any], int] = hash_fn or stable_hash
         super().__init__(runtime, name, partitions, **kwargs)
         if self.replication:
             self._bind_replica_handlers()
@@ -225,7 +322,12 @@ class _HashContainerBase(DistributedContainer):
             name = f"{self.name}.{op}"
             if name not in server.registry:
                 server.bind(name, self._make_handler(op))
+        if self._coalescer is not None:
+            # Buffered ops routed under the old membership must land first.
+            yield from self._coalescer.drain(rank)
         self.partitions.append(part)
+        if self._cache is not None:
+            self._cache.clear()  # partition indices / routing changed
         moved = yield from self._migrate_misplaced(rank)
         return moved
 
@@ -236,6 +338,10 @@ class _HashContainerBase(DistributedContainer):
             raise ValueError("cannot remove the last partition")
         if not 0 <= partition_id < len(self.partitions):
             raise IndexError(f"no partition {partition_id}")
+        if self._coalescer is not None:
+            yield from self._coalescer.drain(rank)
+        if self._cache is not None:
+            self._cache.clear()  # partition indices / routing changed
         victim = self.partitions.pop(partition_id)
         for i, part in enumerate(self.partitions):
             part.index = i
@@ -271,6 +377,7 @@ class _HashContainerBase(DistributedContainer):
                 if target is part:
                     continue
                 part.structure.remove(key)
+                part.write_epoch += 1
                 if self._stores_values():
                     ops.append(("insert", key, value))
                 else:
@@ -324,17 +431,21 @@ class HCLUnorderedMap(_HashContainerBase):
 
         Returns ``(value, found)``.
         """
-        part = self.partition_for(key)
-        result = yield from self._execute(
-            rank, part, "find", (key,), payload_bytes=self._entry_bytes(key)
-        )
+        result = yield from self._cached_find(rank, key)
         return tuple(result)
 
     def find_async(self, rank: int, key: Hashable) -> RPCFuture:
+        return self._cached_find_async(rank, key)
+
+    def insert_buffered(self, rank: int, key: Hashable, value: Any):
+        """Generator: insert through the aggregation buffer (see
+        :meth:`_HashContainerBase.upsert_buffered` for the contract)."""
         part = self.partition_for(key)
-        return self._execute_async(
-            rank, part, "find", (key,), self._entry_bytes(key)
+        result = yield from self._buffer_op(
+            rank, part, "insert", (key, value),
+            payload_bytes=self._entry_bytes(key, value),
         )
+        return result
 
     def erase(self, rank: int, key: Hashable):
         part = self.partition_for(key)
@@ -377,9 +488,18 @@ class HCLUnorderedSet(_HashContainerBase):
 
     def find(self, rank: int, key: Hashable):
         """bool find(const K&) — membership test."""
+        result = yield from self._cached_find(rank, key)
+        return result
+
+    def find_async(self, rank: int, key: Hashable) -> RPCFuture:
+        return self._cached_find_async(rank, key)
+
+    def insert_buffered(self, rank: int, key: Hashable):
+        """Generator: insert through the aggregation buffer."""
         part = self.partition_for(key)
-        result = yield from self._execute(
-            rank, part, "find", (key,), payload_bytes=self._entry_bytes(key)
+        result = yield from self._buffer_op(
+            rank, part, "insert", (key,),
+            payload_bytes=self._entry_bytes(key),
         )
         return result
 

@@ -24,7 +24,8 @@ __all__ = ["HCLPriorityQueue"]
 class HCLPriorityQueue(DistributedContainer):
     """Distributed min-priority queue."""
 
-    OPERATIONS = ("push", "pop", "push_many", "pop_many", "peek", "size")
+    OPERATIONS = ("push", "pop", "push_many", "pop_many", "peek", "size",
+                  "batch")
 
     def __init__(self, runtime, name, partitions, **kwargs):
         super().__init__(runtime, name, partitions, **kwargs)
@@ -106,6 +107,19 @@ class HCLPriorityQueue(DistributedContainer):
             rank, self.home, "push", (priority, value),
             self._entry_bytes(priority, value),
         )
+
+    def push_buffered(self, rank: int, priority: int, value: Any = None):
+        """Generator: push through the aggregation buffer.
+
+        With ``aggregation=0`` this is exactly :meth:`push`; otherwise
+        remote pushes write-combine into one ``batch`` invocation per
+        flush (the ISx key-scatter hot path).
+        """
+        result = yield from self._buffer_op(
+            rank, self.home, "push", (priority, value),
+            payload_bytes=self._entry_bytes(priority, value),
+        )
+        return result
 
     def pop(self, rank: int):
         """Table I: F + L + R.  Returns ``((priority, value), ok)``."""

@@ -21,7 +21,11 @@ from typing import Callable, Dict, Generator, List, Optional, Sequence, Union
 
 from repro.config import ClusterSpec
 from repro.core.container import Partition
-from repro.core.hash_container import HCLUnorderedMap, HCLUnorderedSet
+from repro.core.hash_container import (
+    HCLUnorderedMap,
+    HCLUnorderedSet,
+    stable_hash,
+)
 from repro.core.ordered_container import HCLMap, HCLSet
 from repro.core.priority_queue import HCLPriorityQueue
 from repro.core.queue import HCLQueue
@@ -143,9 +147,15 @@ class HCL:
         relaxed_persistence: bool = False,
         concurrency: str = "lockfree",
         write_failover: bool = False,
+        aggregation: int = 0,
+        aggregation_bytes: int = 32 * 1024,
+        read_cache: bool = False,
         recover: bool = False,
     ) -> HCLUnorderedMap:
         """An ``HCL::unordered_map`` distributed over ``partitions`` nodes."""
+        # Resolve the hash default here so BOTH hashing levels (partition
+        # routing and the cuckoo tables) are PYTHONHASHSEED-independent.
+        hash_fn = hash_fn or stable_hash
         count = partitions if partitions is not None else self.num_nodes
         parts = self._make_partitions(
             name, lambda: CuckooHash(initial_buckets, hash_fn=hash_fn), count,
@@ -156,6 +166,8 @@ class HCL:
             self, name, parts, hash_fn=hash_fn, codec=codec,
             replication=replication, persistence=persistence,
             concurrency=concurrency, write_failover=write_failover,
+            aggregation=aggregation, aggregation_bytes=aggregation_bytes,
+            read_cache=read_cache,
         )
         self.containers[name] = container
         if recover:
@@ -177,8 +189,12 @@ class HCL:
         relaxed_persistence: bool = False,
         concurrency: str = "lockfree",
         write_failover: bool = False,
+        aggregation: int = 0,
+        aggregation_bytes: int = 32 * 1024,
+        read_cache: bool = False,
         recover: bool = False,
     ) -> HCLUnorderedSet:
+        hash_fn = hash_fn or stable_hash
         count = partitions if partitions is not None else self.num_nodes
         parts = self._make_partitions(
             name, lambda: CuckooHash(initial_buckets, hash_fn=hash_fn), count,
@@ -189,6 +205,8 @@ class HCL:
             self, name, parts, hash_fn=hash_fn, codec=codec,
             replication=replication, persistence=persistence,
             concurrency=concurrency, write_failover=write_failover,
+            aggregation=aggregation, aggregation_bytes=aggregation_bytes,
+            read_cache=read_cache,
         )
         self.containers[name] = container
         if recover:
@@ -210,6 +228,9 @@ class HCL:
         relaxed_persistence: bool = False,
         concurrency: str = "lockfree",
         write_failover: bool = False,
+        aggregation: int = 0,
+        aggregation_bytes: int = 32 * 1024,
+        read_cache: bool = False,
         recover: bool = False,
     ) -> HCLMap:
         """An ``HCL::map`` (ordered) distributed by key-space partitioning."""
@@ -223,6 +244,8 @@ class HCL:
             self, name, parts, partitioner=partitioner, less=less, codec=codec,
             replication=replication, persistence=persistence,
             concurrency=concurrency, write_failover=write_failover,
+            aggregation=aggregation, aggregation_bytes=aggregation_bytes,
+            read_cache=read_cache,
         )
         self.containers[name] = container
         if recover:
@@ -244,6 +267,9 @@ class HCL:
         relaxed_persistence: bool = False,
         concurrency: str = "lockfree",
         write_failover: bool = False,
+        aggregation: int = 0,
+        aggregation_bytes: int = 32 * 1024,
+        read_cache: bool = False,
         recover: bool = False,
     ) -> HCLSet:
         count = partitions if partitions is not None else self.num_nodes
@@ -256,6 +282,8 @@ class HCL:
             self, name, parts, partitioner=partitioner, less=less, codec=codec,
             replication=replication, persistence=persistence,
             concurrency=concurrency, write_failover=write_failover,
+            aggregation=aggregation, aggregation_bytes=aggregation_bytes,
+            read_cache=read_cache,
         )
         self.containers[name] = container
         if recover:
@@ -272,6 +300,9 @@ class HCL:
         persistence: bool = False,
         relaxed_persistence: bool = False,
         concurrency: str = "lockfree",
+        aggregation: int = 0,
+        aggregation_bytes: int = 32 * 1024,
+        read_cache: bool = False,
         recover: bool = False,
     ) -> HCLQueue:
         """An ``HCL::queue`` hosted on ``home_node`` (single partition)."""
@@ -282,6 +313,8 @@ class HCL:
         container = HCLQueue(
             self, name, parts, codec=codec, persistence=persistence,
             concurrency=concurrency,
+            aggregation=aggregation, aggregation_bytes=aggregation_bytes,
+            read_cache=read_cache,
         )
         self.containers[name] = container
         if recover:
@@ -300,6 +333,9 @@ class HCL:
         persistence: bool = False,
         relaxed_persistence: bool = False,
         concurrency: str = "lockfree",
+        aggregation: int = 0,
+        aggregation_bytes: int = 32 * 1024,
+        read_cache: bool = False,
         recover: bool = False,
     ) -> HCLPriorityQueue:
         parts = self._make_partitions(
@@ -310,6 +346,8 @@ class HCL:
         container = HCLPriorityQueue(
             self, name, parts, codec=codec, persistence=persistence,
             concurrency=concurrency,
+            aggregation=aggregation, aggregation_bytes=aggregation_bytes,
+            read_cache=read_cache,
         )
         self.containers[name] = container
         if recover:
@@ -317,6 +355,17 @@ class HCL:
                 raise ValueError("recover=True requires persistence=True")
             container.recover_from_logs()
         return container
+
+    # -- aggregation sync points ---------------------------------------------------------
+    def flush_containers(self, rank: int):
+        """Generator: flush every container's aggregation buffers for
+        ``rank``'s node.  Zero-cost no-op when nothing is aggregated —
+        barriers call this so buffered ops always land before ranks
+        synchronize."""
+        for container in self.containers.values():
+            coalescer = getattr(container, "_coalescer", None)
+            if coalescer is not None:
+                yield from coalescer.drain(rank)
 
     # -- running ranks -----------------------------------------------------------------
     def run_ranks(

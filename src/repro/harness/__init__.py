@@ -8,7 +8,9 @@ Every table and figure bench in ``benchmarks/`` builds on this package:
 * :mod:`repro.harness.report` — fixed-width text tables comparing
   paper-reported values against measured ones, and CSV-ish dumps;
 * :mod:`repro.harness.kernelbench` — wall-clock throughput of the DES
-  kernel itself (the number every figure's runtime is bounded by).
+  kernel itself (the number every figure's runtime is bounded by);
+* :mod:`repro.harness.aggbench` — wall-clock A/B of the transparent
+  op-coalescing buffers across the Fig-7 apps.
 """
 
 from repro.harness.workload import Blob, key_stream, WorkloadSpec
@@ -19,11 +21,14 @@ from repro.harness.kernelbench import (
     kernel_events_per_sec,
     run_kernel_bench,
 )
+from repro.harness.aggbench import AggBenchReport, run_agg_bench
 
 __all__ = [
     "KernelBenchReport",
     "kernel_events_per_sec",
     "run_kernel_bench",
+    "AggBenchReport",
+    "run_agg_bench",
     "Blob",
     "key_stream",
     "WorkloadSpec",

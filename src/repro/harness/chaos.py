@@ -18,11 +18,11 @@ whose ack was lost, which are tracked separately as *indeterminate*).
 from __future__ import annotations
 
 import json
-import zlib
 from dataclasses import replace
 from typing import Dict, Optional
 
 from repro.config import RetryPolicy, ares_like
+from repro.core.hash_container import stable_hash
 from repro.core.runtime import HCL
 from repro.fabric.faults import PLAN_NAMES, make_plan
 from repro.fabric.topology import Cluster
@@ -33,10 +33,9 @@ __all__ = ["run_chaos_soak", "SOAK_PLANS"]
 #: by design, so the nonzero-faults assertion would reject it)
 SOAK_PLANS = tuple(p for p in PLAN_NAMES if p != "calm")
 
-
-def _stable_hash(key) -> int:
-    """PYTHONHASHSEED-independent key hash (str keys included)."""
-    return zlib.crc32(repr(key).encode("utf-8"))
+#: backwards-compatible alias — the crc32 hash this harness always used is
+#: now the container-level default (``repro.core.hash_container.stable_hash``)
+_stable_hash = stable_hash
 
 
 def _soak_retry_policy() -> RetryPolicy:
@@ -61,11 +60,22 @@ def run_chaos_soak(
     kmers_per_rank: int = 16,
     horizon: float = 2e-3,
     retry: Optional[RetryPolicy] = None,
+    aggregation: int = 0,
 ) -> Dict:
     """Run one seeded chaos soak; returns the metrics/verdict report dict.
 
     ``report["ok"]`` is True iff no acked write was lost, no mutation was
     double-applied, and the injector actually injected something.
+
+    ``aggregation`` > 0 routes the upsert phase through the transparent
+    write-combining buffers (flushed at phase end) and enables the
+    epoch-validated read cache on the counts map.  The ack ledger then
+    tracks whole flushes: a clean flush acks every buffered increment, a
+    flush that exhausts failover moves everything still unsettled to
+    *indeterminate* (conservative — the verification ceiling absorbs it).
+    The verification pass additionally re-reads every k-mer through the
+    cache and cross-checks each result against the authoritative partition
+    state, asserting that no cached read is ever stale.
     """
     import random
 
@@ -81,7 +91,8 @@ def run_chaos_soak(
     )
     counts = h.unordered_map(
         "soak_counts", replication=1, write_failover=True,
-        hash_fn=_stable_hash,
+        hash_fn=_stable_hash, aggregation=aggregation,
+        read_cache=bool(aggregation),
     )
 
     nranks = spec.total_procs
@@ -106,8 +117,23 @@ def run_chaos_soak(
                 continue
             acked_inserts[(rank, i)] = bucket
         # -- phase 2: contig-gen-style k-mer counting (upserts) ------------
+        pending: Dict[str, int] = {}
+
+        def settle(ok: bool) -> None:
+            ledger = acked_counts if ok else indeterminate
+            for k, n in pending.items():
+                ledger[k] = ledger.get(k, 0) + n
+            pending.clear()
+
         for _ in range(kmers_per_rank):
             kmer = f"k{rng.randrange(kmer_space)}"
+            if aggregation:
+                # Buffered increments stay *pending* until their flush is
+                # acknowledged; the commutative delta makes the batched
+                # apply order irrelevant.
+                yield from counts.upsert_buffered(rank, kmer, 1)
+                pending[kmer] = pending.get(kmer, 0) + 1
+                continue
             try:
                 yield from counts.upsert(rank, kmer, 1)
             except ConnectionError:
@@ -117,6 +143,23 @@ def run_chaos_soak(
                 failed_writes[0] += 1
                 continue
             acked_counts[kmer] = acked_counts.get(kmer, 0) + 1
+        if aggregation:
+            # Drain the buffers.  A failed flush batch may or may not have
+            # applied (it can ack at the primary and lose the reply, or
+            # land on a replica mid-failover) — conservatively demote every
+            # unsettled increment to indeterminate and keep draining the
+            # remaining in-flight flushes.
+            for _attempt in range(8):
+                try:
+                    yield from counts.flush(rank)
+                except ConnectionError:
+                    failed_writes[0] += 1
+                    settle(False)
+                    continue
+                settle(True)
+                break
+            else:
+                settle(False)
 
     h.run_ranks(rank_body, ranks=range(nranks))
     storm_time = h.now
@@ -130,6 +173,12 @@ def run_chaos_soak(
     lost = []
     overcounted = []
     verified = [0]
+    stale_reads = []
+
+    def authoritative(kmer):
+        """Ground truth straight out of the owning partition's structure."""
+        value, found, _stats = counts.partition_for(kmer).structure.find(kmer)
+        return (value if found else None, bool(found))
 
     def verify_body(rank: int):
         for key, expect in sorted(acked_inserts.items()):
@@ -148,6 +197,14 @@ def run_chaos_soak(
             elif have > ceiling:
                 overcounted.append(["upsert", kmer, ceiling, have])
             verified[0] += 1
+            if counts._cache is not None:
+                # Never-stale contract: the first find above primed the
+                # epoch-validated cache; a repeat read (cache-hit eligible)
+                # must still agree with the partition's own state.
+                again = yield from counts.find(rank, kmer)
+                truth = authoritative(kmer)
+                if again != truth:
+                    stale_reads.append([kmer, list(again), list(truth)])
 
     h.run_ranks(verify_body, ranks=range(1))
 
@@ -188,10 +245,14 @@ def run_chaos_soak(
         "duplicate_mutations": len(overcounted),
         "lost_detail": lost[:16],
         "overcount_detail": overcounted[:16],
+        "aggregation": counts.aggregation_report() if aggregation else None,
+        "stale_cached_reads": len(stale_reads),
+        "stale_detail": stale_reads[:16],
     }
     report["ok"] = (
         not lost
         and not overcounted
+        and not stale_reads
         and acked_total > 0
         # the calm plan is the armed-but-quiet control: zero injections is
         # its expected outcome, not a failed experiment
@@ -222,8 +283,16 @@ def render_report(report: Dict) -> str:
         f"{report['indeterminate_writes']} indeterminate",
         f"  verdict: lost_acked={report['lost_acked_writes']} "
         f"double_applied={report['duplicate_mutations']} "
+        f"stale_cached={report.get('stale_cached_reads', 0)} "
         f"=> {'OK' if report['ok'] else 'FAIL'}",
     ]
+    agg = report.get("aggregation")
+    if agg:
+        lines.insert(-1, (
+            f"  aggregation: {agg['aggregation']['flushes']} flushes, "
+            f"{agg['aggregation']['flushed_ops']} ops coalesced, "
+            f"cache hits={agg['read_cache']['hits']}"
+        ))
     return "\n".join(lines)
 
 

@@ -19,5 +19,9 @@ one invocation), and future-based synchronous/asynchronous execution.
 from repro.rpc.future import RPCFuture, RemoteError
 from repro.rpc.server import RpcServer, RpcContext
 from repro.rpc.client import RpcClient
+from repro.rpc.coalesce import OpCoalescer, ReadCache
 
-__all__ = ["RPCFuture", "RemoteError", "RpcServer", "RpcContext", "RpcClient"]
+__all__ = [
+    "RPCFuture", "RemoteError", "RpcServer", "RpcContext", "RpcClient",
+    "OpCoalescer", "ReadCache",
+]

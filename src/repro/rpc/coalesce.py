@@ -1,0 +1,315 @@
+"""Destination-coalescing op buffers and the locality-aware read cache.
+
+This is the client-side aggregation subsystem of Section III-C3 made
+transparent: instead of shipping one RoR invocation per container
+operation, buffered operations are write-combined into per-(caller-node,
+target-partition) buffers and flushed through the container's ``batch``
+multi-op handler — one marshal/SEND/invocation charge per flush instead of
+per op (the Table I amortization, and the destination-buffered aggregated
+insert of Brock et al., BCL [11] / "RDMA vs. RPC" [1910.02158]).
+
+Two pieces live here:
+
+:class:`OpCoalescer`
+    Per-container write combiner.  ``append`` adds a sub-operation to the
+    destination buffer and fires an asynchronous flush when the op-count or
+    byte threshold is crossed; ``drain`` is the mandatory-flush sync point
+    (barriers, synchronous reads, explicit ``container.flush``, container
+    destruction) — it flushes every pending buffer for the caller's node
+    and waits for all in-flight flush batches to complete.  Only *remote*
+    partitions buffer: the hybrid access model (Section III-C5) already
+    makes same-node operations a shared-memory access, so coalescing them
+    would only add latency.
+
+:class:`ReadCache`
+    Per-caller-node cache of keyed read results for read-mostly data (BFS
+    adjacency lists, contig-traversal neighbor lookups).  Safety is
+    epoch-based: every partition carries a ``write_epoch`` bumped by each
+    mutation, a cached entry remembers the epoch of the state it read, and
+    a hit is served **only while the partition epoch still equals the
+    entry's epoch** — so a cached read can never observe a stale value.
+    Invalidation is two-tier: writes issued or buffered by the local node
+    invalidate the key immediately (write-through on the local buffer),
+    and epochs observed on RPC responses (piggybacked at completion time)
+    prune entries other nodes' writes made stale.
+
+Both are observable: flush counts, ops-per-flush, flushed bytes, cache
+hit/miss/invalidation counters all feed the Fig-4-style profiling report
+(``repro.cli aggbench`` / ``BENCH_agg.json``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.simnet.stats import Counter
+
+__all__ = ["OpCoalescer", "ReadCache", "MISS"]
+
+#: default byte threshold per destination buffer (one flush's payload)
+DEFAULT_MAX_BYTES = 32 * 1024
+
+
+class _Buffer:
+    """Pending sub-operations bound for one (caller-node, partition) pair."""
+
+    __slots__ = ("rank", "part", "subops", "payload_bytes")
+
+    def __init__(self, rank: int, part):
+        self.rank = rank
+        self.part = part
+        self.subops: List[Tuple[str, tuple]] = []
+        self.payload_bytes = 0
+
+
+class OpCoalescer:
+    """Write-combines container ops into per-destination batch flushes."""
+
+    def __init__(self, container, max_ops: int,
+                 max_bytes: int = DEFAULT_MAX_BYTES):
+        if max_ops < 1:
+            raise ValueError(f"aggregation buffer needs max_ops >= 1, got {max_ops}")
+        self.container = container
+        self.max_ops = int(max_ops)
+        self.max_bytes = int(max_bytes)
+        #: (node_id, part_index) -> pending buffer
+        self._buffers: Dict[Tuple[int, int], _Buffer] = {}
+        #: (node_id, part_index) -> in-flight flush futures
+        self._inflight: Dict[Tuple[int, int], List] = {}
+        name = container.name
+        self.flushes = Counter(f"{name}/agg_flushes")
+        self.flushed_ops = Counter(f"{name}/agg_ops")
+        self.flushed_bytes = Counter(f"{name}/agg_bytes")
+        self.threshold_flushes = Counter(f"{name}/agg_threshold_flushes")
+        self.sync_flushes = Counter(f"{name}/agg_sync_flushes")
+
+    # -- write combining ------------------------------------------------------
+    def append(self, rank: int, node_id: int, part, op: str, args: tuple,
+               payload_bytes: int) -> None:
+        """Buffer one sub-op; flush asynchronously when a threshold trips."""
+        key = (node_id, part.index)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = self._buffers[key] = _Buffer(rank, part)
+        buf.rank = rank  # flush on behalf of the most recent caller
+        buf.subops.append((op, args))
+        buf.payload_bytes += payload_bytes
+        if (len(buf.subops) >= self.max_ops
+                or buf.payload_bytes >= self.max_bytes):
+            self.threshold_flushes.add(1)
+            self._flush_key(key)
+
+    def fold(self, rank: int, node_id: int, part, op: str, args: tuple,
+             payload_bytes: int):
+        """Fold an asynchronous op into a non-empty pending buffer.
+
+        Returns a future for *this op's* result (the tail slot of the flush
+        batch), or None when there is nothing pending — the caller then
+        issues a plain single-op invocation.  Folding keeps program order:
+        the async op lands after every op buffered before it, under the
+        same single invocation charge.
+        """
+        key = (node_id, part.index)
+        buf = self._buffers.get(key)
+        if buf is None or not buf.subops:
+            return None
+        buf.rank = rank
+        buf.subops.append((op, args))
+        buf.payload_bytes += payload_bytes
+        fut = self._flush_key(key)
+        return fut.then(lambda results: results[-1])
+
+    def _flush_key(self, key: Tuple[int, int]):
+        """Ship one buffer as a single ``batch`` invocation (asynchronous)."""
+        buf = self._buffers.pop(key)
+        self.flushes.add(1)
+        self.flushed_ops.add(len(buf.subops))
+        self.flushed_bytes.add(buf.payload_bytes)
+        fut = self.container._spawn_batch(
+            buf.rank, buf.part, buf.subops, buf.payload_bytes
+        )
+        inflight = self._inflight.setdefault(key, [])
+        inflight.append(fut)
+
+        def _settled(event, key=key, fut=fut):
+            # Successful flushes retire themselves; failed ones stay listed
+            # so the next drain() surfaces the error to a caller.
+            if event.ok:
+                lst = self._inflight.get(key)
+                if lst is not None and fut in lst:
+                    lst.remove(fut)
+
+        fut._event.add_callback(_settled)
+        return fut
+
+    # -- sync points ----------------------------------------------------------
+    def pending_for(self, node_id: int, part_index: Optional[int] = None) -> int:
+        """Buffered (not yet shipped) op count for a caller node."""
+        return sum(
+            len(buf.subops)
+            for (nid, pidx), buf in self._buffers.items()
+            if nid == node_id and (part_index is None or pidx == part_index)
+        )
+
+    def pending_total(self) -> int:
+        return sum(len(buf.subops) for buf in self._buffers.values())
+
+    def inflight_for(self, node_id: int, part_index: Optional[int] = None) -> int:
+        """Flushes shipped by a caller node but not yet completed."""
+        return sum(
+            len(futs)
+            for (nid, pidx), futs in self._inflight.items()
+            if nid == node_id and (part_index is None or pidx == part_index)
+        )
+
+    def drain(self, rank: int, part_index: Optional[int] = None):
+        """Generator: mandatory flush for the caller's node.
+
+        Ships every pending buffer (optionally only the one bound for
+        ``part_index``) and waits until all matching in-flight flushes have
+        completed, re-raising the first flush failure.  After ``yield from
+        coalescer.drain(rank)`` returns, every previously buffered op from
+        this node is durably applied at its target partition.
+        """
+        node_id = self.container.runtime.cluster.node_of_rank(rank)
+        keys = [
+            k for k in list(self._buffers)
+            if k[0] == node_id and (part_index is None or k[1] == part_index)
+        ]
+        for key in keys:
+            buf = self._buffers.get(key)
+            if buf is not None and buf.subops:
+                self.sync_flushes.add(1)
+                self._flush_key(key)
+        waiting = [
+            fut
+            for (nid, pidx), futs in list(self._inflight.items())
+            if nid == node_id and (part_index is None or pidx == part_index)
+            for fut in list(futs)
+        ]
+        for fut in waiting:
+            if not fut.done:
+                yield fut.wait()
+            # Retire before surfacing so a failed flush raises exactly once.
+            for futs in self._inflight.values():
+                if fut in futs:
+                    futs.remove(fut)
+            _ = fut.result  # re-raises a failed flush at the sync point
+
+    # -- observability --------------------------------------------------------
+    def report(self) -> Dict[str, float]:
+        flushes = self.flushes.value
+        ops = self.flushed_ops.value
+        return {
+            "flushes": int(flushes),
+            "flushed_ops": int(ops),
+            "flushed_bytes": int(self.flushed_bytes.value),
+            "threshold_flushes": int(self.threshold_flushes.value),
+            "sync_flushes": int(self.sync_flushes.value),
+            "ops_per_flush": (ops / flushes) if flushes else 0.0,
+            "pending_ops": self.pending_total(),
+        }
+
+
+class _Miss:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<cache miss>"
+
+
+#: sentinel distinguishing "not cached" from a cached None result
+MISS = _Miss()
+
+
+class ReadCache:
+    """Epoch-validated per-caller-node cache for keyed read results."""
+
+    def __init__(self, name: str):
+        #: (node_id, part_index) -> {key: (result, epoch)}
+        self._entries: Dict[Tuple[int, int], Dict[Any, Tuple[Any, int]]] = {}
+        #: (node_id, part_index) -> newest epoch seen on an RPC response
+        self._observed: Dict[Tuple[int, int], int] = {}
+        self.hits = Counter(f"{name}/cache_hits")
+        self.misses = Counter(f"{name}/cache_misses")
+        self.invalidations = Counter(f"{name}/cache_invalidations")
+        self.stale_drops = Counter(f"{name}/cache_stale_drops")
+
+    def lookup(self, node_id: int, part, key):
+        """Return the cached read result, or :data:`MISS`.
+
+        A hit requires the partition's current ``write_epoch`` to equal the
+        epoch the entry was read at — entries outlived by any mutation are
+        dropped, never served.
+        """
+        bucket = self._entries.get((node_id, part.index))
+        if bucket is None:
+            self.misses.add(1)
+            return MISS
+        entry = bucket.get(key)
+        if entry is None:
+            self.misses.add(1)
+            return MISS
+        result, epoch = entry
+        if epoch != part.write_epoch:
+            del bucket[key]
+            self.stale_drops.add(1)
+            self.misses.add(1)
+            return MISS
+        self.hits.add(1)
+        return result
+
+    def fill(self, node_id: int, part, key, result, epoch_before: int) -> None:
+        """Cache a completed read, unless a write raced the read window."""
+        if part.write_epoch != epoch_before:
+            return  # value may predate the racing mutation; don't cache
+        self._entries.setdefault((node_id, part.index), {})[key] = (
+            result, epoch_before
+        )
+
+    def invalidate_key(self, node_id: int, part_index: int, key) -> None:
+        """Write-through invalidation for a locally issued/buffered write."""
+        bucket = self._entries.get((node_id, part_index))
+        if bucket is not None and bucket.pop(key, None) is not None:
+            self.invalidations.add(1)
+
+    def observe(self, node_id: int, part_index: int, epoch: int) -> None:
+        """Fold an epoch piggybacked on an RPC response into the cache.
+
+        Epochs only grow, so pruning everything older than the observed
+        epoch is safe; the authoritative equality check in :meth:`lookup`
+        remains the correctness gate.
+        """
+        key = (node_id, part_index)
+        last = self._observed.get(key, -1)
+        if epoch <= last:
+            return
+        self._observed[key] = epoch
+        bucket = self._entries.get(key)
+        if bucket:
+            stale = [k for k, (_res, e) in bucket.items() if e < epoch]
+            for k in stale:
+                del bucket[k]
+            if stale:
+                self.invalidations.add(len(stale))
+
+    def clear(self) -> None:
+        """Drop everything — used when partition membership changes."""
+        self._entries.clear()
+        self._observed.clear()
+
+    def entries(self) -> int:
+        return sum(len(b) for b in self._entries.values())
+
+    def report(self) -> Dict[str, float]:
+        hits = self.hits.value
+        misses = self.misses.value
+        total = hits + misses
+        return {
+            "hits": int(hits),
+            "misses": int(misses),
+            "hit_rate": (hits / total) if total else 0.0,
+            "invalidations": int(self.invalidations.value),
+            "stale_drops": int(self.stale_drops.value),
+            "entries": self.entries(),
+        }

@@ -1,0 +1,314 @@
+"""Transparent destination-coalescing buffers + locality-aware read cache.
+
+Covers the aggregation subsystem end to end: buffered ops write-combine
+into per-(node, partition) batches flushed as ONE invocation, sync points
+(sync reads, keyed batches, barriers, explicit flush) preserve program
+order, ``aggregation=0`` stays on the classic one-invocation-per-op path,
+and the epoch-validated read cache can never serve a stale value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ares_like
+from repro.core import HCL, Collectives
+
+from tests.conftest import run_rank0
+
+
+def _total_invocations(h: HCL) -> int:
+    return int(sum(c.invocations.value for c in h._clients.values()))
+
+
+def _contents(m) -> dict:
+    return {k: v for part in m.partitions for k, v in part.structure.items()}
+
+
+def _remote_key(m, node_id: int, start: int = 0):
+    """A key owned by a partition NOT on ``node_id``."""
+    return next(
+        k for k in range(start, start + 10_000)
+        if m.partition_for(k).node_id != node_id
+    )
+
+
+class TestCoalescer:
+    def _run_upserts(self, spec, aggregation):
+        h = HCL(spec)
+        m = h.unordered_map("t", partitions=2, aggregation=aggregation)
+
+        def body(rank):
+            for i in range(24):
+                yield from m.upsert_buffered(rank, i % 7, 1)
+            yield from m.flush(rank)
+
+        h.run_ranks(body)
+        return h, m
+
+    def test_identical_results_fewer_invocations(self, small_spec):
+        h_off, m_off = self._run_upserts(small_spec, aggregation=0)
+        h_on, m_on = self._run_upserts(small_spec, aggregation=8)
+        assert _contents(m_off) == _contents(m_on)
+        assert _total_invocations(h_on) < _total_invocations(h_off)
+        h_off.close()
+        h_on.close()
+
+    def test_flush_counters(self, small_spec):
+        h, m = self._run_upserts(small_spec, aggregation=8)
+        report = m.aggregation_report()["aggregation"]
+        assert report["flushes"] > 0
+        assert report["flushed_ops"] > 0
+        assert report["ops_per_flush"] > 1.0
+        assert report["pending_ops"] == 0
+        h.close()
+
+    def test_sync_read_drains_buffer(self, hcl):
+        """Program order: a sync find sees the rank's earlier buffered op
+        without an explicit flush."""
+        m = hcl.unordered_map("t", partitions=2, aggregation=64)
+        key = _remote_key(m, node_id=0)
+
+        def body():
+            yield from m.insert_buffered(0, key, "v")
+            assert m._coalescer.pending_total() == 1
+            value, found = yield from m.find(0, key)
+            assert (value, found) == ("v", True)
+            assert m._coalescer.pending_total() == 0
+
+        run_rank0(hcl, body())
+
+    def test_keyed_batch_drains_buffer(self, hcl):
+        m = hcl.unordered_map("t", partitions=2, aggregation=64)
+        key = _remote_key(m, node_id=0)
+
+        def body():
+            yield from m.upsert_buffered(0, key, 5)
+            results = yield from m.batch(0, [("find", key)])
+            assert results == [(5, True)]
+
+        run_rank0(hcl, body())
+
+    def test_barrier_flushes_all_containers(self, small_spec):
+        h = HCL(small_spec)
+        m = h.unordered_map("t", partitions=2, aggregation=512)
+        coll = Collectives(h)
+        total = small_spec.total_procs
+
+        def body(rank):
+            yield from m.insert_buffered(rank, ("k", rank), rank)
+            yield from coll.barrier(rank)
+            # After the barrier every rank's buffered insert is visible.
+            value, found = yield from m.find(rank, ("k", (rank + 1) % total))
+            assert found and value == (rank + 1) % total
+
+        h.run_ranks(body)
+        assert m._coalescer.pending_total() == 0
+        h.close()
+
+    def test_threshold_flush_by_op_count(self, hcl):
+        m = hcl.unordered_map("t", partitions=2, aggregation=4)
+        key = _remote_key(m, node_id=0)
+
+        def body():
+            part = m.partition_for(key)
+            for i in range(8):
+                yield from m.upsert_buffered(0, key, 1)
+            # Two threshold flushes were spawned; drain them.
+            yield from m.flush(0)
+            value, found, _stats = part.structure.find(key)
+            assert found and value == 8
+
+        run_rank0(hcl, body())
+        report = m.aggregation_report()["aggregation"]
+        assert report["threshold_flushes"] >= 2
+
+    def test_local_ops_bypass_buffers(self, hcl):
+        """Same-node ops keep the direct shared-memory path: nothing to
+        buffer, nothing to flush."""
+        m = hcl.unordered_map("t", partitions=2, aggregation=8)
+        key = next(
+            k for k in range(1000) if m.partition_for(k).node_id == 0
+        )
+
+        def body():
+            yield from m.insert_buffered(0, key, "local")
+            assert m._coalescer.pending_total() == 0
+            value, found, _stats = m.partition_for(key).structure.find(key)
+            assert found and value == "local"
+
+        run_rank0(hcl, body())
+
+    def test_aggregation_off_is_plain_execute(self, hcl):
+        m = hcl.unordered_map("t", partitions=2)
+        assert m._coalescer is None
+        key = _remote_key(m, node_id=0)
+
+        def body():
+            yield from m.insert_buffered(0, key, 1)  # applies immediately
+            value, found, _stats = m.partition_for(key).structure.find(key)
+            assert found and value == 1
+            yield from m.flush(0)  # no-op
+
+        run_rank0(hcl, body())
+
+    def test_negative_aggregation_rejected(self, hcl):
+        with pytest.raises(ValueError, match="aggregation"):
+            hcl.unordered_map("t", aggregation=-1)
+
+    def test_close_raises_on_unflushed_ops(self, small_spec):
+        h = HCL(small_spec)
+        m = h.unordered_map("t", partitions=2, aggregation=64)
+        key = _remote_key(m, node_id=0)
+
+        def body():
+            yield from m.insert_buffered(0, key, 1)
+
+        run_rank0(h, body())
+        with pytest.raises(RuntimeError, match="unflushed"):
+            m.close()
+        run_rank0(h, m.flush(0))
+        m.close()
+        h.close()
+
+    def test_priority_queue_push_buffered(self, hcl):
+        q = hcl.priority_queue("pq", home_node=1, dims=9, base=8,
+                               aggregation=8)
+
+        def body():
+            for p in (30, 10, 20):
+                yield from q.push_buffered(0, p, str(p))
+            yield from q.flush(0)
+            entries = yield from q.pop_many(4, 8)  # rank 4 is on node 1
+            assert [p for p, _v in entries] == [10, 20, 30]
+
+        run_rank0(hcl, body())
+
+
+class TestReadCache:
+    def _cached_map(self, h):
+        return h.unordered_map("c", partitions=2, read_cache=True)
+
+    def test_hit_skips_invocation(self, hcl):
+        m = self._cached_map(hcl)
+        key = _remote_key(m, node_id=0)
+
+        def body():
+            yield from m.insert(0, key, 42)
+            first = yield from m.find(0, key)
+            before = _total_invocations(hcl)
+            second = yield from m.find(0, key)  # served from cache
+            assert _total_invocations(hcl) == before
+            assert first == second == (42, True)
+
+        run_rank0(hcl, body())
+        report = m.aggregation_report()["read_cache"]
+        assert report["hits"] == 1
+        assert report["misses"] >= 1
+
+    def test_never_stale_after_remote_write(self, hcl):
+        """A write from any rank invalidates/expires the cached entry: the
+        next read returns the new value, not the cached one."""
+        m = self._cached_map(hcl)
+        key = _remote_key(m, node_id=0)
+
+        def body():
+            yield from m.insert(0, key, "old")
+            _ = yield from m.find(0, key)  # prime the cache
+            yield from m.insert(0, key, "new")  # write-through invalidation
+            value, found = yield from m.find(0, key)
+            assert (value, found) == ("new", True)
+
+        run_rank0(hcl, body())
+
+    def test_never_stale_after_owner_local_write(self, small_spec):
+        """The hard case: the owner mutates its partition directly (no RPC
+        the caller could observe).  The epoch check must reject the
+        caller's cached entry."""
+        h = HCL(small_spec)
+        m = self._cached_map(h)
+        key = _remote_key(m, node_id=0)
+        owner_rank = next(
+            r for r in range(small_spec.total_procs)
+            if h.cluster.node_of_rank(r) == m.partition_for(key).node_id
+        )
+
+        def reader():
+            yield from m.insert(0, key, 1)
+            _ = yield from m.find(0, key)  # cached at epoch E
+
+        run_rank0(h, reader())
+
+        def owner_writes():
+            yield from m.insert(owner_rank, key, 2)  # direct local mutation
+
+        run_rank0(h, owner_writes())
+
+        def reread():
+            value, found = yield from m.find(0, key)
+            assert (value, found) == (2, True)
+
+        run_rank0(h, reread())
+        assert m.aggregation_report()["read_cache"]["stale_drops"] >= 1
+        h.close()
+
+    def test_find_async_hit_and_fill(self, hcl):
+        m = self._cached_map(hcl)
+        key = _remote_key(m, node_id=0)
+
+        def body():
+            yield from m.insert(0, key, 7)
+            fut1 = m.find_async(0, key)  # miss: goes to the wire
+            yield fut1.wait()
+            assert fut1.result == (7, True)
+            before = _total_invocations(hcl)
+            fut2 = m.find_async(0, key)  # hit: completes instantly
+            assert fut2.done and fut2.result == (7, True)
+            assert _total_invocations(hcl) == before
+
+        run_rank0(hcl, body())
+
+    def test_erase_invalidates(self, hcl):
+        m = self._cached_map(hcl)
+        key = _remote_key(m, node_id=0)
+
+        def body():
+            yield from m.insert(0, key, 1)
+            _ = yield from m.find(0, key)
+            ok = yield from m.erase(0, key)
+            assert ok
+            value, found = yield from m.find(0, key)
+            assert (value, found) == (None, False)
+
+        run_rank0(hcl, body())
+
+
+class TestAppEquivalence:
+    """Aggregation is a transport optimization: app results are identical."""
+
+    def test_kmer_histogram_identical(self):
+        from repro.apps import run_kmer_counting, synthesize_genome
+
+        spec = ares_like(nodes=2, procs_per_node=2, seed=3)
+        data = synthesize_genome(genome_length=400, num_reads=30,
+                                 read_length=40, k=11, seed=3)
+        off = run_kmer_counting("hcl", spec, data)
+        on = run_kmer_counting("hcl", spec, data, aggregation=16)
+        assert off.verified and on.verified
+        assert off.distinct_kmers == on.distinct_kmers
+        assert on.time_seconds < off.time_seconds
+        assert on.agg_report["aggregation"]["flushes"] > 0
+
+    def test_contig_set_identical(self):
+        from repro.apps import run_contig_generation, synthesize_genome
+
+        spec = ares_like(nodes=2, procs_per_node=2, seed=3)
+        data = synthesize_genome(genome_length=400, num_reads=30,
+                                 read_length=40, k=11, seed=3)
+        off = run_contig_generation("hcl", spec, data)
+        on = run_contig_generation("hcl", spec, data, aggregation=16,
+                                   read_cache=True)
+        assert off.verified and on.verified
+        assert off.contigs == on.contigs
+        assert on.time_seconds < off.time_seconds
+        assert on.agg_report["read_cache"]["hits"] > 0

@@ -167,7 +167,8 @@ def _verify(contigs: List[str], data: GenomeData) -> bool:
 
 def run_contig_generation(backend: str, spec: ClusterSpec,
                           data: GenomeData, aggregation: int = 0,
-                          read_cache: bool = False) -> ContigResult:
+                          read_cache: bool = False,
+                          instrument=None) -> ContigResult:
     """Run the contig kernel.
 
     HCL-only knobs: ``aggregation`` write-combines the build phase's
@@ -177,7 +178,7 @@ def run_contig_generation(backend: str, spec: ClusterSpec,
     the walk) from the epoch-validated locality cache.
     """
     if backend == "hcl":
-        return _run_hcl(spec, data, aggregation, read_cache)
+        return _run_hcl(spec, data, aggregation, read_cache, instrument)
     if backend == "bcl":
         return _run_bcl(spec, data)
     raise ValueError(f"unknown backend {backend!r}")
@@ -196,11 +197,13 @@ def _rank_kmers(data: GenomeData, rank: int, total: int) -> List[str]:
 
 
 def _run_hcl(spec: ClusterSpec, data: GenomeData, aggregation: int = 0,
-             read_cache: bool = False) -> ContigResult:
+             read_cache: bool = False, instrument=None) -> ContigResult:
     hcl = HCL(spec)
     graph = hcl.unordered_map("debruijn", partitions=hcl.num_nodes,
                               initial_buckets=1024, aggregation=aggregation,
                               read_cache=read_cache)
+    if instrument is not None:
+        instrument(hcl)
     total = spec.total_procs
     all_contigs: Set[str] = set()
 

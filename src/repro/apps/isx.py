@@ -61,6 +61,7 @@ def run_isx(
     batch: int = 32,
     seed: int = 1,
     aggregation: int = 0,
+    instrument=None,
 ) -> IsxResult:
     """Run the ISx kernel on ``backend`` ("hcl" or "bcl").
 
@@ -68,9 +69,14 @@ def run_isx(
     buffers instead of the app-managed ``push_many`` blocks — the same
     keys reach the same buckets (the priority queue sorts on arrival), in
     one ``batch`` invocation per flush.
+
+    ``instrument`` (HCL only): callable invoked with the :class:`HCL`
+    runtime after the containers are built but before the workload runs —
+    the attach point for tracers and telemetry samplers.
     """
     if backend == "hcl":
-        return _run_hcl(spec, keys_per_rank, batch, seed, aggregation)
+        return _run_hcl(spec, keys_per_rank, batch, seed, aggregation,
+                        instrument)
     if backend == "bcl":
         return _run_bcl(spec, keys_per_rank, seed)
     raise ValueError(f"unknown backend {backend!r}")
@@ -90,7 +96,7 @@ def _verify(per_node: List[List[int]], all_keys: List[int], nodes: int) -> bool:
 # -- HCL ----------------------------------------------------------------------
 
 def _run_hcl(spec: ClusterSpec, keys_per_rank: int, batch: int,
-             seed: int, aggregation: int = 0) -> IsxResult:
+             seed: int, aggregation: int = 0, instrument=None) -> IsxResult:
     hcl = HCL(spec)
     nodes = hcl.num_nodes
     # Priority-queue coordinate space must cover MAX_KEY.
@@ -99,6 +105,8 @@ def _run_hcl(spec: ClusterSpec, keys_per_rank: int, batch: int,
                            aggregation=aggregation)
         for i in range(nodes)
     ]
+    if instrument is not None:
+        instrument(hcl)
     all_keys: List[int] = []
 
     def rank_body(rank):

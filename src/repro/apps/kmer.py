@@ -44,7 +44,8 @@ def _reads_for_rank(data: GenomeData, rank: int, total: int):
 
 
 def run_kmer_counting(backend: str, spec: ClusterSpec, data: GenomeData,
-                      min_count: int = 1, aggregation: int = 0) -> KmerResult:
+                      min_count: int = 1, aggregation: int = 0,
+                      instrument=None) -> KmerResult:
     """Count k-mers on ``backend``.
 
     ``min_count`` is Meraculous's noise filter: k-mers observed fewer than
@@ -57,7 +58,7 @@ def run_kmer_counting(backend: str, spec: ClusterSpec, data: GenomeData,
     one-invocation-per-k-mer behavior.
     """
     if backend == "hcl":
-        return _run_hcl(spec, data, min_count, aggregation)
+        return _run_hcl(spec, data, min_count, aggregation, instrument)
     if backend == "bcl":
         return _run_bcl(spec, data, min_count)
     raise ValueError(f"unknown backend {backend!r}")
@@ -76,10 +77,13 @@ def _apply_filter(counts: dict, min_count: int):
 
 
 def _run_hcl(spec: ClusterSpec, data: GenomeData,
-             min_count: int = 1, aggregation: int = 0) -> KmerResult:
+             min_count: int = 1, aggregation: int = 0,
+             instrument=None) -> KmerResult:
     hcl = HCL(spec)
     table = hcl.unordered_map("kmers", partitions=hcl.num_nodes,
                               initial_buckets=1024, aggregation=aggregation)
+    if instrument is not None:
+        instrument(hcl)
     total_procs = spec.total_procs
     seen = 0
 

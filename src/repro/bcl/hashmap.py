@@ -31,7 +31,7 @@ from typing import Any, Dict, Hashable, Optional
 from repro.bcl.runtime import BCL
 from repro.serialization.databox import estimate_size
 from repro.simnet.core import Event
-from repro.simnet.stats import Counter
+from repro.obs.registry import registry_of
 
 __all__ = ["BCLHashMap"]
 
@@ -69,9 +69,10 @@ class BCLHashMap:
         self.ready = Event(self.sim)  # fires when the static init completes
         self._regions: Dict[int, str] = {}
         self._client_buffers: set = set()
-        self.cas_retries = Counter(f"{name}/cas_retries")
-        self.inserts = Counter(f"{name}/inserts")
-        self.finds = Counter(f"{name}/finds")
+        metrics = registry_of(self.sim)
+        self.cas_retries = metrics.counter(f"{name}/cas_retries")
+        self.inserts = metrics.counter(f"{name}/inserts")
+        self.finds = metrics.counter(f"{name}/finds")
         self._partition_nodes = [
             i % self.cluster.num_nodes for i in range(partitions)
         ]

@@ -19,7 +19,7 @@ from typing import Any
 from repro.bcl.runtime import BCL
 from repro.serialization.databox import estimate_size
 from repro.simnet.core import Event
-from repro.simnet.stats import Counter
+from repro.obs.registry import registry_of
 
 __all__ = ["BCLCircularQueue"]
 
@@ -51,9 +51,10 @@ class BCLCircularQueue:
         self.region_name = f"bcl.{name}.ring"
         self.ready = Event(self.sim)
         self._client_buffers: set = set()
-        self.pushes = Counter(f"{name}/pushes")
-        self.pops = Counter(f"{name}/pops")
-        self.poll_retries = Counter(f"{name}/poll_retries")
+        metrics = registry_of(self.sim)
+        self.pushes = metrics.counter(f"{name}/pushes")
+        self.pops = metrics.counter(f"{name}/pops")
+        self.poll_retries = metrics.counter(f"{name}/poll_retries")
         self.sim.process(self._static_init(), name=f"bcl-init-{name}")
 
     def _static_init(self):

@@ -86,11 +86,43 @@ def _cmd_fig6(args) -> int:
     return 0
 
 
+def _suffixed(path: str, suffix: str) -> str:
+    """``foo.json`` + ``bar`` -> ``foo_bar.json`` (append when no dot)."""
+    if not suffix:
+        return path
+    if "." in path:
+        stem, ext = path.rsplit(".", 1)
+        return f"{stem}_{suffix}.{ext}"
+    return f"{path}_{suffix}"
+
+
+def _export_trace(tracer, prefix: str, pid_base: int = 0) -> None:
+    """Write one tracer's spans as JSON-lines + Chrome trace."""
+    from repro.obs import write_chrome_trace, write_span_jsonl
+
+    span_path = f"{prefix}.jsonl"
+    chrome_path = f"{prefix}_chrome.json"
+    n = write_span_jsonl(tracer.spans, span_path)
+    write_chrome_trace(tracer.spans, chrome_path, pid_base=pid_base)
+    print(f"wrote {span_path} ({n} spans) and {chrome_path}")
+
+
 def _cmd_chaos_soak(args) -> int:
     from repro.harness.chaos import emit_report, render_report, run_chaos_soak
 
     worst = 0
     for plan in args.plans:
+        box = {}
+        instrument = None
+        if args.trace:
+            def instrument(h, box=box):
+                from repro.obs import install_tracer
+
+                box["sim"] = h.sim
+                install_tracer(h.sim)
+        elif args.metrics_out:
+            def instrument(h, box=box):
+                box["sim"] = h.sim
         report = run_chaos_soak(
             plan=plan,
             seed=args.seed,
@@ -100,13 +132,25 @@ def _cmd_chaos_soak(args) -> int:
             kmers_per_rank=args.kmers,
             horizon=args.horizon,
             aggregation=args.aggregation,
+            instrument=instrument,
         )
         print(render_report(report))
+        suffix = plan if len(args.plans) > 1 else ""
         if args.emit:
-            path = (args.emit if len(args.plans) == 1
-                    else args.emit.replace(".json", f"_{plan}.json"))
+            path = _suffixed(args.emit, suffix)
             emit_report(report, path)
             print(f"wrote {path}")
+        if args.trace and "sim" in box:
+            from repro.obs import tracer_of
+
+            _export_trace(tracer_of(box["sim"]),
+                          _suffixed(args.trace, suffix))
+        if args.metrics_out and "sim" in box:
+            from repro.obs import registry_of, write_metrics_json
+
+            path = _suffixed(args.metrics_out, suffix)
+            n = write_metrics_json(registry_of(box["sim"]), path)
+            print(f"wrote {path} ({n} metrics)")
         if not report["ok"]:
             worst = 1
     return worst
@@ -193,14 +237,21 @@ def _cmd_microbench(args) -> int:
 
 
 def _cmd_kernelbench(args) -> int:
-    from repro.harness.kernelbench import emit_bench_json, kernel_events_per_sec
+    from repro.harness.kernelbench import (
+        emit_bench_json, kernel_events_per_sec, traced_kernel_bench,
+    )
 
-    rep = kernel_events_per_sec(
-        repeats=args.repeats,
+    kwargs = dict(
         procs=args.procs,
         timeouts_per_proc=args.timeouts,
         pooling=not args.no_pooling,
     )
+    if args.trace or args.metrics_out:
+        rep, tracer, registry = traced_kernel_bench(
+            repeats=args.repeats, **kwargs
+        )
+    else:
+        rep = kernel_events_per_sec(repeats=args.repeats, **kwargs)
     print(render_table(
         "DES kernel throughput (wall clock; best of "
         f"{args.repeats} runs)",
@@ -208,12 +259,20 @@ def _cmd_kernelbench(args) -> int:
     ))
     if args.emit:
         print(f"wrote {emit_bench_json(rep, args.emit)}")
+    if args.trace:
+        _export_trace(tracer, args.trace)
+    if args.metrics_out:
+        from repro.obs import write_metrics_json
+
+        n = write_metrics_json(registry, args.metrics_out)
+        print(f"wrote {args.metrics_out} ({n} metrics)")
     return 0
 
 
 def _cmd_aggbench(args) -> int:
     from repro.harness.aggbench import emit_agg_json, run_agg_bench
 
+    collector = [] if (args.trace or args.metrics_out) else None
     report = run_agg_bench(
         scale=args.scale,
         nodes=args.nodes,
@@ -222,6 +281,8 @@ def _cmd_aggbench(args) -> int:
         apps=args.apps,
         repeats=args.repeats,
         sim_only=args.sim_only,
+        trace=bool(args.trace),
+        collector=collector,
     )
     print(render_table(
         f"Aggregation sweep (scale={args.scale}, "
@@ -237,6 +298,27 @@ def _cmd_aggbench(args) -> int:
               f"(buffer={entry['aggregation']})")
     if args.emit:
         print(f"wrote {emit_agg_json(report, args.emit)}")
+    if args.trace and collector:
+        from repro.obs import tracer_of
+
+        for i, (label, sim) in enumerate(collector):
+            tracer = tracer_of(sim)
+            if tracer is not None and len(tracer):
+                # Disjoint pid ranges so one Perfetto session can hold
+                # every (app, buffer-size) run side by side.
+                _export_trace(tracer, f"{args.trace}_{label}",
+                              pid_base=1000 * i)
+    if args.metrics_out and collector:
+        import json
+
+        from repro.obs import metrics_snapshot, registry_of
+
+        combined = {label: metrics_snapshot(registry_of(sim))
+                    for label, sim in collector}
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(combined, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.metrics_out} ({len(combined)} runs)")
     if args.check:
         failures = report.check(min_speedup=args.min_speedup)
         for failure in failures:
@@ -245,9 +327,97 @@ def _cmd_aggbench(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs import validate_chrome_trace, validate_span_log
+
+    if args.validate:
+        worst = 0
+        for path in args.validate:
+            validator = (validate_span_log if path.endswith(".jsonl")
+                         else validate_chrome_trace)
+            errors = validator(path)
+            if errors:
+                worst = 1
+                print(f"{path}: INVALID ({len(errors)} error(s))")
+                for err in errors[:20]:
+                    print(f"  {err}", file=sys.stderr)
+            else:
+                print(f"{path}: OK")
+        return worst
+
+    # Demo mode: one traced app run, stage breakdown + tiling check.
+    from repro.harness.aggbench import _run_app
+    from repro.obs import STAGE_NAMES, install_tracer, tracer_of
+
+    box = {}
+
+    def instrument(hcl):
+        box["sim"] = hcl.sim
+        install_tracer(hcl.sim)
+
+    spec = ares_like(nodes=args.nodes, procs_per_node=args.procs)
+    ops, sim_s, verified, _agg = _run_app(
+        args.app, spec, args.scale, args.aggregation, instrument
+    )
+    tracer = tracer_of(box["sim"])
+    rows = [[name, int(row["n"]), f"{row['total'] * 1e6:.1f}",
+             f"{row['mean'] * 1e9:.0f}"]
+            for name, row in sorted(tracer.stage_breakdown().items())]
+    print(render_table(
+        f"traced {args.app} (scale={args.scale}, "
+        f"{args.nodes}x{args.procs} ranks, agg={args.aggregation})",
+        ["span", "n", "total (us)", "mean (ns)"], rows,
+    ))
+    rpcs = [s for s in tracer.spans
+            if s.name.startswith("rpc.") and s.name not in STAGE_NAMES]
+    worst = max((abs(sum(c.duration for c in tracer.stage_children(r))
+                     - r.duration) for r in rpcs), default=0.0)
+    print(f"  {len(tracer)} spans over {len(rpcs)} rpcs; "
+          f"sim time {sim_s:.6f}s, {ops} app ops, verified={verified}")
+    print(f"  stage tiling: max |sum(stages) - e2e| = {worst:.3g}s")
+    if args.emit:
+        _export_trace(tracer, args.emit)
+    return 0 if (verified and worst < 1e-9) else 1
+
+
+def _cmd_telemetry(args) -> int:
+    from repro.harness.telemetry import (
+        TELEMETRY_APPS, check_telemetry, emit_telemetry_json, run_telemetry,
+    )
+
+    report = run_telemetry(
+        scale=args.scale,
+        nodes=args.nodes,
+        procs_per_node=args.procs,
+        samples=args.samples,
+        aggregation=args.aggregation,
+        apps=args.apps or TELEMETRY_APPS,
+    )
+    for run in report["runs"]:
+        rows = [[name,
+                 len(ts["values"]),
+                 f"{ts['mean']:.4g}",
+                 f"{ts['max']:.4g}"]
+                for name, ts in sorted(run["series"].items())]
+        print(render_table(
+            f"Fig 4 telemetry — {run['app']} "
+            f"({run['ops']} ops in {run['sim_seconds']:.6f}s sim)",
+            ["series", "samples", "mean", "max"], rows,
+        ))
+        print()
+    if args.emit:
+        print(f"wrote {emit_telemetry_json(report, args.emit)}")
+    if args.check:
+        failures = check_telemetry(report)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
 def _cmd_list(args) -> int:
     print("commands: fig1 fig5 fig6 fig7 sweep microbench kernelbench "
-          "aggbench chaos-soak list")
+          "aggbench chaos-soak trace telemetry list")
     print("full asserted reproduction: pytest benchmarks/ --benchmark-only -s")
     return 0
 
@@ -307,6 +477,13 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--emit", nargs="?", const="chaos_soak.json",
                     default=None, metavar="PATH",
                     help="write report JSON (per-plan suffix when multiple)")
+    pc.add_argument("--trace", nargs="?", const="chaos_trace",
+                    default=None, metavar="PREFIX",
+                    help="trace every RPC; write PREFIX.jsonl + "
+                         "PREFIX_chrome.json (per-plan suffix when multiple)")
+    pc.add_argument("--metrics-out", nargs="?", const="chaos_metrics.json",
+                    default=None, metavar="PATH",
+                    help="write the full metrics-registry snapshot as JSON")
     pc.set_defaults(fn=_cmd_chaos_soak)
 
     p7 = sub.add_parser("fig7", help="application kernels")
@@ -332,6 +509,13 @@ def build_parser() -> argparse.ArgumentParser:
     pk.add_argument("--emit", nargs="?", const="BENCH_kernel.json",
                     default=None, metavar="PATH",
                     help="write the result as JSON (default BENCH_kernel.json)")
+    pk.add_argument("--trace", nargs="?", const="kernel_trace",
+                    default=None, metavar="PREFIX",
+                    help="record wall-clock spans per repeat; write "
+                         "PREFIX.jsonl + PREFIX_chrome.json")
+    pk.add_argument("--metrics-out", nargs="?", const="kernel_metrics.json",
+                    default=None, metavar="PATH",
+                    help="write the kernel-stat registry snapshot as JSON")
     pk.set_defaults(fn=_cmd_kernelbench)
 
     pa = sub.add_parser(
@@ -359,7 +543,58 @@ def build_parser() -> argparse.ArgumentParser:
                     help="exit 1 unless contig+kmer clear --min-speedup")
     pa.add_argument("--min-speedup", type=_positive_float, default=1.0,
                     help="speedup floor for --check (default 1.0)")
+    pa.add_argument("--trace", nargs="?", const="agg_trace",
+                    default=None, metavar="PREFIX",
+                    help="trace one run per (app, buffer) combo; write "
+                         "PREFIX_<label>.jsonl + PREFIX_<label>_chrome.json")
+    pa.add_argument("--metrics-out", nargs="?", const="agg_metrics.json",
+                    default=None, metavar="PATH",
+                    help="write per-run metrics-registry snapshots as JSON")
     pa.set_defaults(fn=_cmd_aggbench)
+
+    pt = sub.add_parser(
+        "trace",
+        help="span tracing: validate exported traces, or run a traced demo",
+    )
+    pt.add_argument("--validate", nargs="+", default=None, metavar="PATH",
+                    help="validate span logs (.jsonl) / Chrome traces "
+                         "(.json) instead of running a demo")
+    pt.add_argument("--app", choices=["isx", "kmer", "contig"],
+                    default="isx", help="demo app to trace")
+    pt.add_argument("--scale", type=_positive_float, default=0.25,
+                    help="work multiplier for the demo run")
+    pt.add_argument("--nodes", type=int, default=2)
+    pt.add_argument("--procs", type=int, default=2,
+                    help="rank processes per node")
+    pt.add_argument("--aggregation", type=int, default=0,
+                    help="buffer size for the demo (adds coalesce spans)")
+    pt.add_argument("--emit", nargs="?", const="trace_demo",
+                    default=None, metavar="PREFIX",
+                    help="write the demo's PREFIX.jsonl + PREFIX_chrome.json")
+    pt.set_defaults(fn=_cmd_trace)
+
+    pT = sub.add_parser(
+        "telemetry",
+        help="Fig-4-style time series: NIC %%, memory %%, packet rate",
+    )
+    pT.add_argument("--scale", type=_positive_float, default=1.0,
+                    help="work multiplier (keys/reads; default 1.0)")
+    pT.add_argument("--nodes", type=int, default=4)
+    pT.add_argument("--procs", type=int, default=3,
+                    help="rank processes per node")
+    pT.add_argument("--samples", type=int, default=32,
+                    help="sample points across the run (default 32)")
+    pT.add_argument("--aggregation", type=int, default=8,
+                    help="write-combining buffer size (0 = off)")
+    pT.add_argument("--apps", nargs="+",
+                    choices=["isx", "kmer", "contig"], default=None,
+                    help="apps to sample (default: isx contig)")
+    pT.add_argument("--emit", nargs="?", const="BENCH_telemetry.json",
+                    default=None, metavar="PATH",
+                    help="write the series (default BENCH_telemetry.json)")
+    pT.add_argument("--check", action="store_true",
+                    help="exit 1 if any series is empty or a probe failed")
+    pT.set_defaults(fn=_cmd_telemetry)
 
     pm = sub.add_parser("microbench", help="OSU-style fabric microbenchmarks")
     pm.add_argument("--provider", default="roce",

@@ -27,10 +27,10 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.costs import CostLedger, charge
 from repro.memory.segment import MemorySegment
+from repro.obs.registry import registry_of
 from repro.rpc.coalesce import MISS, OpCoalescer, ReadCache
 from repro.rpc.future import RPCFuture
 from repro.serialization.databox import DataBox, estimate_size
-from repro.simnet.stats import Counter
 from repro.structures.stats import OpStats
 
 __all__ = ["Partition", "DistributedContainer"]
@@ -52,7 +52,10 @@ class Partition:
         self.node_id = node_id
         self.structure = structure
         self.segment = segment
-        self.ops = Counter(f"part{index}/ops")
+        # Keyed by the segment's unique name (``<container>.<index>``), not
+        # the positional index — two containers' partition counters must not
+        # collide in the shared registry.
+        self.ops = registry_of(segment.node.sim).counter(f"{segment.name}/ops")
         #: monotonic mutation counter; the read cache's staleness authority
         self.write_epoch = 0
 
@@ -118,13 +121,14 @@ class DistributedContainer:
         )
         #: locality-aware read cache for read-mostly data; epoch-validated
         #: so a cached read can never observe a stale value.
-        self._cache = ReadCache(name) if read_cache else None
-        self.ledger = CostLedger()
-        self.local_hits = Counter(f"{name}/local")
-        self.remote_calls = Counter(f"{name}/remote")
-        self.failover_reads = Counter(f"{name}/failover_reads")
-        self.failover_writes = Counter(f"{name}/failover_writes")
-        self.replayed_writes = Counter(f"{name}/replayed_writes")
+        self._cache = ReadCache(runtime.sim, name) if read_cache else None
+        metrics = registry_of(runtime.sim)
+        self.ledger = CostLedger(metrics, prefix=name)
+        self.local_hits = metrics.counter(f"{name}/local")
+        self.remote_calls = metrics.counter(f"{name}/remote")
+        self.failover_reads = metrics.counter(f"{name}/failover_reads")
+        self.failover_writes = metrics.counter(f"{name}/failover_writes")
+        self.replayed_writes = metrics.counter(f"{name}/replayed_writes")
         #: node_id -> [(part_index, op, args, token), ...] awaiting replay
         self._replay: Dict[int, List[tuple]] = {}
         self._replay_hooked: set = set()
@@ -213,7 +217,7 @@ class DistributedContainer:
 
     # -- the hybrid access core -------------------------------------------------
     def _execute(self, rank: int, part: Partition, op: str, args: tuple,
-                 payload_bytes: int, _drain: bool = True):
+                 payload_bytes: int, _drain: bool = True, trace_parent=None):
         """Generator: run ``op`` on ``part`` from ``rank`` — local or remote.
 
         This is the locality decision of Section III-C5: same node => direct
@@ -275,6 +279,7 @@ class DistributedContainer:
                 (part.index, *args),
                 payload_size=payload_bytes,
                 token=token,
+                trace_parent=trace_parent,
             )
             if self._cache is not None:
                 # Epoch piggybacked on the response: prune entries that
@@ -456,7 +461,8 @@ class DistributedContainer:
 
     # -- client-side aggregation (Section III-C3, Table I amortization) ----------
     def _spawn_call(self, rank: int, part: Partition, op: str, args: tuple,
-                    payload_bytes: int, _drain: bool = True) -> RPCFuture:
+                    payload_bytes: int, _drain: bool = True,
+                    trace_parent=None) -> RPCFuture:
         """Run a full-semantics ``_execute`` behind a future.
 
         Used for coalescer flushes and ordering-sensitive async ops: the
@@ -468,7 +474,8 @@ class DistributedContainer:
         def body():
             try:
                 value = yield from self._execute(
-                    rank, part, op, args, payload_bytes, _drain=_drain
+                    rank, part, op, args, payload_bytes, _drain=_drain,
+                    trace_parent=trace_parent,
                 )
                 fut._complete(value)
             except BaseException as err:  # noqa: BLE001
@@ -478,10 +485,11 @@ class DistributedContainer:
         return fut
 
     def _spawn_batch(self, rank: int, part: Partition, subops,
-                     payload_bytes: int) -> RPCFuture:
+                     payload_bytes: int, trace_parent=None) -> RPCFuture:
         """One coalescer flush: ship ``subops`` as a single invocation."""
         return self._spawn_call(
-            rank, part, "batch", (list(subops),), payload_bytes, _drain=False
+            rank, part, "batch", (list(subops),), payload_bytes,
+            _drain=False, trace_parent=trace_parent,
         )
 
     def _buffer_op(self, rank: int, part: Partition, op: str, args: tuple,

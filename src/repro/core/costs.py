@@ -56,12 +56,26 @@ def charge(node: Node, stats: OpStats, entry_bytes: int,
 
 
 class CostLedger:
-    """Per-operation symbol counts for the Table I validation bench."""
+    """Per-operation symbol counts for the Table I validation bench.
 
-    def __init__(self):
+    With a :class:`~repro.obs.registry.MetricsRegistry` attached, every
+    recorded :class:`OpStats` also feeds fleet-visible ``<prefix>/table1/*``
+    counters — the per-structure symbol tallies used to be merged into the
+    ledger and dropped; now they are exportable alongside every other
+    metric.
+    """
+
+    def __init__(self, registry=None, prefix: str = ""):
         self._ops: Dict[str, Dict[str, float]] = defaultdict(
             lambda: {"count": 0, "F": 0, "L": 0, "R": 0, "W": 0, "CAS": 0}
         )
+        self._counters = None
+        if registry is not None:
+            base = f"{prefix}/table1" if prefix else "table1"
+            self._counters = {
+                sym: registry.counter(f"{base}/{sym}")
+                for sym in ("ops", "F", "L", "R", "W", "CAS")
+            }
 
     def record(self, op: str, stats: Optional[OpStats], remote: bool,
                elements: int = 1) -> None:
@@ -76,6 +90,17 @@ class CostLedger:
             if stats.resize_entries:
                 row["R"] += stats.resize_entries
                 row["W"] += stats.resize_entries
+        if self._counters is not None:
+            self._counters["ops"].add(1)
+            if remote:
+                self._counters["F"].add(1)
+            if stats is not None:
+                self._counters["L"].add(stats.local_ops)
+                self._counters["R"].add(stats.reads + stats.resize_entries)
+                self._counters["W"].add(
+                    stats.writes + stats.relocations + stats.resize_entries
+                )
+                self._counters["CAS"].add(stats.cas_ops)
 
     def per_op(self, op: str) -> Dict[str, float]:
         """Average symbol counts per call of ``op``."""

@@ -29,7 +29,7 @@ from typing import Any, Deque, Dict, List, Tuple
 
 from repro.serialization.databox import estimate_size
 from repro.simnet.core import Event
-from repro.simnet.stats import Counter
+from repro.obs.registry import registry_of
 
 __all__ = ["Comm", "ANY_SOURCE", "ANY_TAG"]
 
@@ -78,8 +78,9 @@ class Comm:
         self._mailboxes: Dict[int, _Mailbox] = {
             rank: _Mailbox(self.sim) for rank in range(self.size)
         }
-        self.messages_sent = Counter(f"{name}/sent")
-        self.local_deliveries = Counter(f"{name}/local")
+        metrics = registry_of(self.sim)
+        self.messages_sent = metrics.counter(f"{name}/sent")
+        self.local_deliveries = metrics.counter(f"{name}/local")
         # One delivery handler per node, bound into the RoR registry: a
         # remote send is an ordinary invocation that posts to the mailbox.
         for node in self.cluster.nodes:

@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.fabric.packet import Message, Verb
+from repro.obs.registry import registry_of
 from repro.simnet.stats import Counter
 from repro.simnet.trace import EventLog
 
@@ -135,12 +136,13 @@ class FaultInjector:
         self.rng = cluster.rngs.stream("fabric/faults")
         self.active = True
         self.log = EventLog(self.sim, limit=log_limit)
-        self.drops = Counter("faults/drops")
-        self.dups = Counter("faults/dups")
-        self.delays = Counter("faults/delays")
-        self.crashes = Counter("faults/crashes")
-        self.restarts = Counter("faults/restarts")
-        self.partition_drops = Counter("faults/partition_drops")
+        metrics = registry_of(self.sim)
+        self.drops = metrics.counter("faults/drops")
+        self.dups = metrics.counter("faults/dups")
+        self.delays = metrics.counter("faults/delays")
+        self.crashes = metrics.counter("faults/crashes")
+        self.restarts = metrics.counter("faults/restarts")
+        self.partition_drops = metrics.counter("faults/partition_drops")
         #: node_id -> partition group index while a partition window is live
         self._group: Dict[int, int] = {}
         self._schedule_plan()

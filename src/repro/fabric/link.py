@@ -18,9 +18,9 @@ disjoint, so no deadlock cycle can form.
 from __future__ import annotations
 
 from repro.config import CostModel
+from repro.obs.registry import registry_of
 from repro.simnet.core import Simulator
 from repro.simnet.resources import Resource
-from repro.simnet.stats import Counter
 
 from repro.fabric.packet import Message
 
@@ -36,9 +36,10 @@ class Link:
         self.name = name
         # ``lanes`` > 1 models multi-rail NICs; the paper's testbed is 1x40GbE.
         self.channel = Resource(sim, capacity=lanes, name=name)
-        self.bytes_total = Counter(name + "/bytes")
-        self.packets_total = Counter(name + "/packets")
-        self.messages_total = Counter(name + "/messages")
+        metrics = registry_of(sim)
+        self.bytes_total = metrics.counter(name + "/bytes")
+        self.packets_total = metrics.counter(name + "/packets")
+        self.messages_total = metrics.counter(name + "/messages")
 
     def packet_count(self, msg: Message) -> int:
         return max(1, -(-msg.wire_size // self.cost.mtu))

@@ -19,9 +19,9 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.config import CostModel
+from repro.obs.registry import registry_of
 from repro.simnet.core import Simulator
 from repro.simnet.resources import Resource, Store
-from repro.simnet.stats import Counter
 from repro.simnet.sync import SimLock
 
 __all__ = ["MemoryRegion", "Nic"]
@@ -44,8 +44,9 @@ class MemoryRegion:
         self.words: Dict[int, int] = {}
         # Remote atomics to the same region serialize here (paper Sec. I(c)).
         self.atomic_lock = SimLock(sim, name=f"{name}/atomics")
-        self.cas_attempts = Counter(f"{name}/cas_attempts")
-        self.cas_failures = Counter(f"{name}/cas_failures")
+        metrics = registry_of(sim)
+        self.cas_attempts = metrics.counter(f"{name}/cas_attempts")
+        self.cas_failures = metrics.counter(f"{name}/cas_failures")
 
     def read_word(self, offset: int) -> int:
         return self.words.get(offset, 0)
@@ -87,8 +88,9 @@ class Nic:
         # Receive work queue for two-sided SENDs (the RoR request buffer feed).
         self.recv_queue = Store(sim, name=f"nic{node_id}/recv")
         self.regions: Dict[str, MemoryRegion] = {}
-        self.verbs_processed = Counter(f"nic{node_id}/verbs")
-        self.rpcs_processed = Counter(f"nic{node_id}/rpcs")
+        metrics = registry_of(sim)
+        self.verbs_processed = metrics.counter(f"nic{node_id}/verbs")
+        self.rpcs_processed = metrics.counter(f"nic{node_id}/rpcs")
 
     # -- memory registration ------------------------------------------------
     def register_region(self, name: str, size: int) -> MemoryRegion:

@@ -12,9 +12,9 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from repro.config import ClusterSpec
+from repro.obs.registry import registry_of
 from repro.simnet.core import Simulator
 from repro.simnet.resources import Resource
-from repro.simnet.stats import Gauge
 
 from repro.fabric.link import Link
 from repro.fabric.nic import Nic, MemoryRegion
@@ -46,7 +46,7 @@ class Node:
         self.ingress = Link(sim, cost, name=f"n{node_id}/ingress",
                             lanes=cost.link_lanes)
         self.memory_capacity = spec.memory_per_node
-        self.memory_used = Gauge(f"n{node_id}/mem")
+        self.memory_used = registry_of(sim).gauge(f"n{node_id}/mem")
         # Local (intra-node) shared-memory bandwidth: a single station so
         # that all processes together share the node's ~65 GB/s (each op
         # holds the bus for bytes/bandwidth, i.e. transfers at full rate).

@@ -13,9 +13,9 @@ operations are serialized" regime of Fig 6c.
 from __future__ import annotations
 
 from repro.config import CostModel
+from repro.obs.registry import registry_of
 from repro.simnet.core import Simulator
 from repro.simnet.resources import Resource
-from repro.simnet.stats import Counter
 
 __all__ = ["Switch"]
 
@@ -32,7 +32,7 @@ class Switch:
         self.oversubscription = oversubscription
         channels = max(1, int(round(nodes / oversubscription)))
         self.channels = Resource(sim, capacity=channels, name="switch")
-        self.transits = Counter("switch/transits")
+        self.transits = registry_of(sim).counter("switch/transits")
 
     @property
     def is_full_bisection(self) -> bool:

@@ -10,7 +10,11 @@ Every table and figure bench in ``benchmarks/`` builds on this package:
 * :mod:`repro.harness.kernelbench` — wall-clock throughput of the DES
   kernel itself (the number every figure's runtime is bounded by);
 * :mod:`repro.harness.aggbench` — wall-clock A/B of the transparent
-  op-coalescing buffers across the Fig-7 apps.
+  op-coalescing buffers across the Fig-7 apps;
+* :mod:`repro.harness.telemetry` — Fig-4-style time-series telemetry
+  (NIC utilization, memory, packet rate) sampled over the app kernels;
+* :mod:`repro.harness.chaos` — seeded fault-plan soak with an
+  acked-write ledger and a registry-backed metrics report.
 """
 
 from repro.harness.workload import Blob, key_stream, WorkloadSpec
@@ -20,15 +24,27 @@ from repro.harness.kernelbench import (
     KernelBenchReport,
     kernel_events_per_sec,
     run_kernel_bench,
+    traced_kernel_bench,
 )
 from repro.harness.aggbench import AggBenchReport, run_agg_bench
+from repro.harness.telemetry import (
+    TELEMETRY_APPS,
+    check_telemetry,
+    emit_telemetry_json,
+    run_telemetry,
+)
 
 __all__ = [
     "KernelBenchReport",
     "kernel_events_per_sec",
     "run_kernel_bench",
+    "traced_kernel_bench",
     "AggBenchReport",
     "run_agg_bench",
+    "TELEMETRY_APPS",
+    "run_telemetry",
+    "emit_telemetry_json",
+    "check_telemetry",
     "Blob",
     "key_stream",
     "WorkloadSpec",

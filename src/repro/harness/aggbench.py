@@ -141,7 +141,8 @@ class AggBenchReport:
         return failures
 
 
-def _run_app(app: str, spec: ClusterSpec, scale: float, aggregation: int):
+def _run_app(app: str, spec: ClusterSpec, scale: float, aggregation: int,
+             instrument=None):
     """Run one HCL app once; returns (ops, sim_seconds, verified, agg)."""
     from repro.apps import (
         run_contig_generation, run_isx, run_kmer_counting, synthesize_genome,
@@ -152,19 +153,20 @@ def _run_app(app: str, spec: ClusterSpec, scale: float, aggregation: int):
 
     if app == "isx":
         res = run_isx("hcl", spec, keys_per_rank=sc(192),
-                      aggregation=aggregation)
+                      aggregation=aggregation, instrument=instrument)
         return res.total_keys, res.time_seconds, res.verified, res.agg_report
     data = synthesize_genome(
         genome_length=sc(600 * spec.nodes), num_reads=sc(48 * spec.nodes),
         read_length=60, k=15, seed=spec.nodes,
     )
     if app == "kmer":
-        res = run_kmer_counting("hcl", spec, data, aggregation=aggregation)
+        res = run_kmer_counting("hcl", spec, data, aggregation=aggregation,
+                                instrument=instrument)
         return res.total_kmers, res.time_seconds, res.verified, res.agg_report
     if app == "contig":
         res = run_contig_generation(
             "hcl", spec, data, aggregation=aggregation,
-            read_cache=bool(aggregation),
+            read_cache=bool(aggregation), instrument=instrument,
         )
         ops = sum(max(0, len(r) - data.k + 1) for r in data.reads)
         return ops, res.time_seconds, res.verified, res.agg_report
@@ -179,6 +181,8 @@ def run_agg_bench(
     apps: Sequence[str] = BENCH_APPS,
     repeats: int = 2,
     sim_only: bool = False,
+    trace: bool = False,
+    collector: Optional[List[Tuple[str, object]]] = None,
 ) -> AggBenchReport:
     """Sweep aggregation buffer sizes over the Fig-7 apps.
 
@@ -186,19 +190,42 @@ def run_agg_bench(
     time and the coalescer counters are deterministic and identical across
     repeats).  ``sim_only`` drops the wall-clock fields entirely so the
     emitted JSON is bit-reproducible for the CI determinism diff.
+
+    Observability: pass a list as ``collector`` to receive one
+    ``(label, sim)`` pair per (app, aggregation) combination — the CLI
+    exports span logs and metrics snapshots from those simulators.
+    ``trace=True`` additionally installs a span tracer on each collected
+    run.  Both leave the report's content untouched: traced and untraced
+    sweeps emit bit-identical ``BENCH_agg.json`` in ``sim_only`` mode.
     """
     report = AggBenchReport(scale, nodes, procs_per_node, list(sweep),
                             sim_only)
     for app in apps:
         for aggregation in sweep:
             best_wall: Optional[float] = None
+            collected = False
             for _ in range(max(1, repeats) if not sim_only else 1):
                 spec = ares_like(nodes=nodes, procs_per_node=procs_per_node)
+                instrument = None
+                if collector is not None and not collected:
+                    sim_box: Dict[str, object] = {}
+
+                    def instrument(hcl, box=sim_box):
+                        box["sim"] = hcl.sim
+                        if trace:
+                            from repro.obs import install_tracer
+
+                            install_tracer(hcl.sim)
                 t0 = time.perf_counter()
                 ops, sim_s, verified, agg = _run_app(
-                    app, spec, scale, aggregation
+                    app, spec, scale, aggregation, instrument
                 )
                 wall = time.perf_counter() - t0
+                if instrument is not None and "sim" in sim_box:
+                    collector.append(
+                        (f"{app}-agg{aggregation}", sim_box["sim"])
+                    )
+                    collected = True
                 if best_wall is None or wall < best_wall:
                     best_wall = wall
             report.rows.append(AggBenchRow(

@@ -26,6 +26,7 @@ from repro.core.hash_container import stable_hash
 from repro.core.runtime import HCL
 from repro.fabric.faults import PLAN_NAMES, make_plan
 from repro.fabric.topology import Cluster
+from repro.obs.registry import registry_of
 
 __all__ = ["run_chaos_soak", "SOAK_PLANS"]
 
@@ -61,6 +62,7 @@ def run_chaos_soak(
     horizon: float = 2e-3,
     retry: Optional[RetryPolicy] = None,
     aggregation: int = 0,
+    instrument=None,
 ) -> Dict:
     """Run one seeded chaos soak; returns the metrics/verdict report dict.
 
@@ -76,6 +78,10 @@ def run_chaos_soak(
     The verification pass additionally re-reads every k-mer through the
     cache and cross-checks each result against the authoritative partition
     state, asserting that no cached read is ever stale.
+
+    ``instrument`` is invoked with the :class:`HCL` runtime after the
+    containers are built but before the storm — the attach point for span
+    tracers (``install_tracer(h.sim)``) and telemetry samplers.
     """
     import random
 
@@ -94,6 +100,8 @@ def run_chaos_soak(
         hash_fn=_stable_hash, aggregation=aggregation,
         read_cache=bool(aggregation),
     )
+    if instrument is not None:
+        instrument(h)
 
     nranks = spec.total_procs
     #: (rank, i) -> bucket value, recorded only after the insert's ack
@@ -208,8 +216,10 @@ def run_chaos_soak(
 
     h.run_ranks(verify_body, ranks=range(1))
 
-    clients = list(h._clients.values())
-    servers = list(h._servers.values())
+    # The per-client / per-server counters all live in the simulator's
+    # metrics registry now; the fleet rollups below are registry sums, so
+    # the report sees exactly what any other observability consumer sees.
+    metrics = registry_of(h.sim)
     acked_total = len(acked_inserts) + sum(acked_counts.values())
     report = {
         "plan": plan,
@@ -221,12 +231,12 @@ def run_chaos_soak(
         "injected": injector.counters(),
         "injected_total": injector.injected_total(),
         "rpc": {
-            "invocations": int(sum(c.invocations.value for c in clients)),
-            "retries": int(sum(c.retries.value for c in clients)),
-            "timeouts": int(sum(c.timeouts.value for c in clients)),
-            "exhausted": int(sum(c.exhausted.value for c in clients)),
+            "invocations": int(metrics.sum_matching("/invocations", "rpcc")),
+            "retries": int(metrics.sum_matching("/retries", "rpcc")),
+            "timeouts": int(metrics.sum_matching("/timeouts", "rpcc")),
+            "exhausted": int(metrics.sum_matching("/exhausted", "rpcc")),
             "duplicates_suppressed": int(
-                sum(s.duplicates_suppressed.value for s in servers)
+                metrics.sum_matching("/dups_suppressed", "rpc")
             ),
         },
         "failover": {
@@ -248,6 +258,12 @@ def run_chaos_soak(
         "aggregation": counts.aggregation_report() if aggregation else None,
         "stale_cached_reads": len(stale_reads),
         "stale_detail": stale_reads[:16],
+        # Deterministic registry snapshot: every hidden counter the soak
+        # touched (fault injections, per-node RPC fleets, per-container
+        # failover/replay/coalescer activity, switch transits).
+        "metrics": metrics.snapshot(
+            prefixes=("faults", "rpc", "soak_counts", "soak_keys", "switch")
+        ),
     }
     report["ok"] = (
         not lost
@@ -292,6 +308,13 @@ def render_report(report: Dict) -> str:
             f"  aggregation: {agg['aggregation']['flushes']} flushes, "
             f"{agg['aggregation']['flushed_ops']} ops coalesced, "
             f"cache hits={agg['read_cache']['hits']}"
+        ))
+    metrics = report.get("metrics")
+    if metrics:
+        lines.insert(-1, (
+            f"  registry: {len(metrics)} series "
+            f"(switch transits={int(metrics.get('switch/transits', 0))}, "
+            f"node restarts={int(metrics.get('faults/restarts', 0))})"
         ))
     return "\n".join(lines)
 

@@ -25,6 +25,7 @@ __all__ = [
     "KernelBenchReport",
     "run_kernel_bench",
     "kernel_events_per_sec",
+    "traced_kernel_bench",
     "emit_bench_json",
     "SEED_BASELINE_EVENTS_PER_SEC",
     "REFERENCE_PROCS",
@@ -115,6 +116,40 @@ def kernel_events_per_sec(repeats: int = 3, **kwargs) -> KernelBenchReport:
         if best is None or rep.events_per_sec > best.events_per_sec:
             best = rep
     return best
+
+
+def traced_kernel_bench(repeats: int = 3, **kwargs):
+    """Best-of-``repeats`` run with wall-clock spans and a metrics registry.
+
+    The kernel microbenchmark has no RPC pipeline to trace, so the spans
+    here use a *wall-clock* tracer (``time.perf_counter``): one root
+    ``kernelbench`` span with a ``kernel.repeat`` child per run, each
+    annotated with its event count and throughput.  The registry mirrors
+    the kernel stats (``kernel/events_processed`` etc.) so ``--metrics-out``
+    works uniformly across the bench commands.
+
+    Returns ``(best_report, tracer, registry)``.
+    """
+    from repro.obs import MetricsRegistry, Tracer
+
+    tracer = Tracer(clock=time.perf_counter)
+    registry = MetricsRegistry()
+    root = tracer.begin("kernelbench", attrs={"repeats": max(1, repeats)})
+    best: Optional[KernelBenchReport] = None
+    for i in range(max(1, repeats)):
+        span = tracer.begin("kernel.repeat", parent=root, attrs={"repeat": i})
+        rep = run_kernel_bench(**kwargs)
+        tracer.finish(span)
+        span.attrs["events"] = rep.events_processed
+        span.attrs["events_per_sec"] = round(rep.events_per_sec)
+        registry.counter("kernel/events_processed").add(rep.events_processed)
+        registry.counter("kernel/events_recycled").add(rep.events_recycled)
+        registry.histogram("kernel/wall_seconds").observe(rep.wall_seconds)
+        if best is None or rep.events_per_sec > best.events_per_sec:
+            best = rep
+    tracer.finish(root)
+    registry.gauge("kernel/best_events_per_sec").set(best.events_per_sec)
+    return best, tracer, registry
 
 
 def emit_bench_json(report: KernelBenchReport, path: str = "BENCH_kernel.json") -> str:

@@ -1,0 +1,155 @@
+"""Fig-4-style telemetry: NIC utilization, memory, packet rate over time.
+
+Figure 4 of the paper argues HCL's case with time-series hardware
+telemetry (Intel PAT on the real testbed).  This harness reproduces those
+three series for the simulated cluster: a
+:class:`~repro.simnet.trace.Sampler` records
+
+* ``nic_utilization`` — windowed NIC-core busy %, averaged over nodes
+  (Fig 4a),
+* ``memory_utilization`` — cluster memory in use as % of capacity
+  (Fig 4b),
+* ``packet_rate`` — cluster-wide packets per simulated second (Fig 4c),
+
+while an application kernel runs, and ``emit_telemetry_json`` writes the
+series to ``BENCH_telemetry.json``.
+
+Sampling is **two-pass** so it cannot perturb the measured run: a dry run
+learns the workload's simulated duration, then an identical second run
+arms samples (``Sampler.arm``) at evenly spaced absolute times across
+that duration and routes ``cluster.run`` through ``Sampler.pump``.  The
+pump takes each sample at its exact armed time while real events are
+pending, but only ever advances the clock by processing real events or
+by crossing idle gaps the untraced run would cross anyway — so armed
+samples pause at phase boundaries (a multi-phase app's intermediate
+``run()`` calls drain early) and lapse when the workload truly ends.
+The sampled run's event timeline, results and final sim time are
+therefore *identical* to the dry run; simulator-scheduled sample events
+would instead stretch any phase whose events drain before the last
+sample time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import ares_like
+
+__all__ = [
+    "TELEMETRY_APPS",
+    "FIG4_SERIES",
+    "run_telemetry",
+    "emit_telemetry_json",
+    "check_telemetry",
+]
+
+#: the Fig-4 kernels: one ISx and one contig-generation run (ISSUE floor)
+TELEMETRY_APPS: Tuple[str, ...] = ("isx", "contig")
+
+#: the three Fig-4 series, in figure order
+FIG4_SERIES = ("nic_utilization", "memory_utilization", "packet_rate")
+
+
+def _attach_probes(cluster, sampler) -> None:
+    nic_probes = [node.nic.utilization_probe() for node in cluster.nodes]
+    sampler.add_probe(
+        "nic_utilization",
+        lambda probes=tuple(nic_probes): sum(p() for p in probes) / len(probes),
+    )
+    sampler.add_probe("memory_utilization", cluster.memory_probe())
+    sampler.add_probe("packet_rate", cluster.packets_probe())
+
+
+def run_telemetry(
+    scale: float = 1.0,
+    nodes: int = 4,
+    procs_per_node: int = 3,
+    samples: int = 32,
+    aggregation: int = 8,
+    apps: Sequence[str] = TELEMETRY_APPS,
+) -> Dict:
+    """Run the Fig-4 apps with telemetry sampling; returns the report dict."""
+    from repro.harness.aggbench import _run_app
+
+    if samples < 2:
+        raise ValueError("telemetry needs at least 2 samples")
+    runs: List[Dict] = []
+    for app in apps:
+        # Pass 1: dry run — learn the workload's simulated duration.
+        spec = ares_like(nodes=nodes, procs_per_node=procs_per_node)
+        _ops, duration, _verified, _agg = _run_app(app, spec, scale,
+                                                   aggregation)
+        # Pass 2: identical run, with samples armed across the learned
+        # duration and the cluster's run loop driven by the sampler pump.
+        spec = ares_like(nodes=nodes, procs_per_node=procs_per_node)
+        box: Dict = {}
+
+        def instrument(hcl, box=box, duration=duration):
+            cluster = hcl.cluster
+            sampler = cluster.sampler()
+            _attach_probes(cluster, sampler)
+            sampler.arm(
+                (i + 1) * duration / samples for i in range(samples)
+            )
+            cluster.run = sampler.pump  # zero-perturbation sample driver
+            box["sampler"] = sampler
+
+        ops, sim_s, verified, _agg = _run_app(app, spec, scale, aggregation,
+                                              instrument)
+        sampler = box["sampler"]
+        series = {
+            name: {
+                "times": list(ts.times),
+                "values": list(ts.values),
+                "mean": ts.mean(),
+                "max": ts.max(),
+            }
+            for name, ts in sampler.series.items()
+        }
+        runs.append({
+            "app": app,
+            "ops": ops,
+            "sim_seconds": sim_s,
+            "dry_run_seconds": duration,
+            "verified": verified,
+            "samples": len(sampler.series[FIG4_SERIES[0]]),
+            "probe_errors": sampler.probe_errors,
+            "series": series,
+        })
+    return {
+        "benchmark": "telemetry_fig4",
+        "scale": scale,
+        "nodes": nodes,
+        "procs_per_node": procs_per_node,
+        "aggregation": aggregation,
+        "samples": samples,
+        "series_names": list(FIG4_SERIES),
+        "runs": runs,
+    }
+
+
+def emit_telemetry_json(report: Dict,
+                        path: str = "BENCH_telemetry.json") -> str:
+    """Write the telemetry report (sorted keys, bit-reproducible)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def check_telemetry(report: Dict) -> List[str]:
+    """Sanity failures for CI: every run has all three non-empty series."""
+    failures: List[str] = []
+    for run in report["runs"]:
+        for name in FIG4_SERIES:
+            ts = run["series"].get(name)
+            if not ts or not ts["values"]:
+                failures.append(f"{run['app']}: series {name!r} is empty")
+        if not run["verified"]:
+            failures.append(f"{run['app']}: workload verification failed")
+        if run["probe_errors"]:
+            failures.append(
+                f"{run['app']}: {run['probe_errors']} probe error(s)"
+            )
+    return failures

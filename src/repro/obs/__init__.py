@@ -1,0 +1,53 @@
+"""Observability layer: the unified metrics registry and RPC span tracing.
+
+Every simulation gets a lazily-created :class:`~repro.obs.registry.MetricsRegistry`
+(namespaced counters / gauges / histograms — the factory behind every
+layer's observables) and, when explicitly installed, a
+:class:`~repro.obs.span.Tracer` that follows one logical op across the
+full RoR pipeline as parent/child spans.  Tracing is off by default and
+purely observational: a traced-off run is bit-identical to a build
+without this package, and a traced-on run produces the same simulated
+results (spans only read ``sim.now``; they never schedule events).
+
+See ``docs/OBSERVABILITY.md`` for the naming scheme, span stages and
+exporter formats.
+"""
+
+from repro.obs.registry import MetricsRegistry, registry_of
+from repro.obs.span import (
+    STAGE_NAMES,
+    Span,
+    Tracer,
+    install_tracer,
+    tracer_of,
+)
+from repro.obs.exporters import (
+    SPAN_SCHEMA,
+    chrome_trace,
+    metrics_snapshot,
+    span_record,
+    validate_chrome_trace,
+    validate_span_log,
+    write_chrome_trace,
+    write_metrics_json,
+    write_span_jsonl,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "registry_of",
+    "Span",
+    "Tracer",
+    "STAGE_NAMES",
+    "install_tracer",
+    "tracer_of",
+    "SPAN_SCHEMA",
+    "chrome_trace",
+    "metrics_snapshot",
+    "span_record",
+    "validate_chrome_trace",
+    "validate_span_log",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "write_span_jsonl",
+]

@@ -1,0 +1,143 @@
+"""The per-simulation metrics registry.
+
+Before this module, every layer built its own ``Counter``/``Gauge``/
+``Histogram`` objects ad hoc — the fabric links, the NIC, the RPC client
+and server, the coalescer, the fault injector all held private metric
+instances with no way to enumerate or export them.  The registry is the
+single factory those layers now share: metrics are namespaced by the
+same ``<owner>/<metric>`` names they always carried, created lazily on
+first request, and returned by identity on repeat lookups (two layers
+asking for the same name observe the same metric).
+
+One registry exists per :class:`~repro.simnet.core.Simulator`, attached
+lazily by :func:`registry_of` — every layer already holds the ``sim``,
+so no constructor signatures change and two independent simulations
+(e.g. an A/B benchmark pair) never share state.
+
+Registration is zero-cost on the simulated timeline: factories allocate
+plain Python objects and never schedule events, so a run with the
+registry is bit-identical to one without it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.simnet.stats import Counter, Gauge, Histogram
+
+__all__ = ["MetricsRegistry", "registry_of"]
+
+#: attribute the registry hangs off a Simulator (created lazily)
+_SIM_ATTR = "_obs_metrics"
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Namespaced, lazily-created metric factory for one simulation."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- factories ------------------------------------------------------------
+    def _get_or_create(self, name: str, cls, *args) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, requested {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the :class:`Counter` called ``name``."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the :class:`Gauge` called ``name``."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get-or-create the :class:`Histogram` called ``name``."""
+        return self._get_or_create(name, Histogram)
+
+    # -- lookup ---------------------------------------------------------------
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self, prefix: str = "") -> List[str]:
+        """Registered metric names (sorted), optionally prefix-filtered."""
+        return sorted(n for n in self._metrics if n.startswith(prefix))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- aggregation ----------------------------------------------------------
+    def sum_matching(self, suffix: str, prefix: str = "") -> float:
+        """Sum counter/gauge values whose name matches ``prefix``/``suffix``.
+
+        The fleet-wide rollup: per-node metrics share a suffix
+        (``rpcc0/retries``, ``rpcc1/retries``, ... -> ``/retries``), so a
+        chaos or bench report can total them without holding references
+        to every client/server object.
+        """
+        total = 0.0
+        for name, metric in self._metrics.items():
+            if not name.endswith(suffix):
+                continue
+            if prefix and not name.startswith(prefix):
+                continue
+            if isinstance(metric, (Counter, Gauge)):
+                total += metric.value
+        return total
+
+    # -- export ---------------------------------------------------------------
+    def snapshot(self, prefixes: Optional[Iterable[str]] = None) -> Dict:
+        """Flat, deterministic (sorted-key) dict of every metric's state.
+
+        Counters map to their value; gauges to ``{value, peak}``;
+        histograms to ``{n, mean, min, max, p50, p90, p99}``.  This is the
+        payload behind ``--metrics-out`` and the chaos-soak ``metrics``
+        section.
+        """
+        wanted: Optional[Tuple[str, ...]] = (
+            tuple(prefixes) if prefixes is not None else None
+        )
+        out: Dict = {}
+        for name in sorted(self._metrics):
+            if wanted is not None and not name.startswith(wanted):
+                continue
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out[name] = metric.value
+            elif isinstance(metric, Gauge):
+                out[name] = {"value": metric.value, "peak": metric.peak}
+            else:  # Histogram
+                out[name] = {
+                    "n": metric.n,
+                    "mean": metric.mean(),
+                    "min": metric.min or 0.0,
+                    "max": metric.max or 0.0,
+                    **metric.percentiles(),
+                }
+        return out
+
+
+def registry_of(sim) -> MetricsRegistry:
+    """The simulation's registry, created lazily on first access.
+
+    Attached as a plain attribute so the simnet kernel stays ignorant of
+    the observability layer and Simulator construction cost is unchanged.
+    """
+    registry = getattr(sim, _SIM_ATTR, None)
+    if registry is None:
+        registry = MetricsRegistry()
+        setattr(sim, _SIM_ATTR, registry)
+    return registry

@@ -38,10 +38,11 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.fabric.faults import FabricDropped
+from repro.obs.registry import registry_of
+from repro.obs.span import tracer_of
 from repro.rpc.future import RemoteError, RPCFuture, TargetUnavailable
 from repro.rpc.server import RpcRequest, RpcServer
 from repro.serialization.databox import estimate_size
-from repro.simnet.stats import Counter, Histogram
 
 __all__ = ["RpcClient"]
 
@@ -58,12 +59,13 @@ class RpcClient:
         self.src_node = src_node
         self.servers = servers
         self.qp = cluster.qp(src_node)
-        self.invocations = Counter(f"rpcc{src_node}/invocations")
-        self.latency = Histogram(f"rpcc{src_node}/latency")
+        metrics = registry_of(self.sim)
+        self.invocations = metrics.counter(f"rpcc{src_node}/invocations")
+        self.latency = metrics.histogram(f"rpcc{src_node}/latency")
         # -- reliability observability --------------------------------------
-        self.retries = Counter(f"rpcc{src_node}/retries")
-        self.timeouts = Counter(f"rpcc{src_node}/timeouts")
-        self.exhausted = Counter(f"rpcc{src_node}/exhausted")
+        self.retries = metrics.counter(f"rpcc{src_node}/retries")
+        self.timeouts = metrics.counter(f"rpcc{src_node}/timeouts")
+        self.exhausted = metrics.counter(f"rpcc{src_node}/exhausted")
         self._token_seq = 0
 
     def next_token(self) -> Tuple[int, int]:
@@ -80,6 +82,7 @@ class RpcClient:
         payload_size: Optional[int] = None,
         callbacks: Optional[List[Tuple[str, Sequence[Any]]]] = None,
         token: Optional[Tuple[int, int]] = None,
+        trace_parent=None,
     ) -> RPCFuture:
         """Fire-and-return: asynchronous invocation of ``op`` on ``dst_node``.
 
@@ -91,6 +94,10 @@ class RpcClient:
         same logical mutation through a *different* invocation (container
         write replay after a crash) pass the original token so the server
         dedups across both.
+
+        ``trace_parent`` (a :class:`~repro.obs.span.Span`) makes the traced
+        invocation a child of an enclosing span (e.g. the coalescer's
+        buffer span); ignored when tracing is off.
         """
         server = self.servers.get(dst_node)
         if server is None:
@@ -109,6 +116,12 @@ class RpcClient:
             estimate_size(a) for a in args
         )
         size += _REQUEST_HEADER_BYTES
+        tracer = tracer_of(self.sim)
+        if tracer is not None:
+            req.trace = tracer.begin(
+                f"rpc.{op}", parent=trace_parent, node=self.src_node,
+                attrs={"dst": dst_node, "bytes": size},
+            )
         self.invocations.add(1)
         self.sim.process(
             self._protocol(dst_node, server, req, size, completion, fut),
@@ -124,9 +137,11 @@ class RpcClient:
         payload_size: Optional[int] = None,
         callbacks: Optional[List[Tuple[str, Sequence[Any]]]] = None,
         token: Optional[Tuple[int, int]] = None,
+        trace_parent=None,
     ):
         """Generator: synchronous invoke — yields until the result arrives."""
-        fut = self.invoke(dst_node, op, args, payload_size, callbacks, token)
+        fut = self.invoke(dst_node, op, args, payload_size, callbacks, token,
+                          trace_parent)
         yield fut.wait()
         return fut.result
 
@@ -141,11 +156,21 @@ class RpcClient:
 
     # -- the wire protocol ---------------------------------------------------
     def _protocol(self, dst_node, server, req, size, completion, fut):
+        # Tracing is pure observation: ``mark`` captures ``sim.now`` at each
+        # stage boundary and the spans are recorded after the fact, so the
+        # yielded event sequence is identical with tracing on or off.
+        trace = req.trace
+        tracer = tracer_of(self.sim) if trace is not None else None
+        node = self.src_node
+        mark = fut.issued_at
         try:
             # Client stub bookkeeping (marshalling handled as size charge).
             yield self.sim.timeout(
                 self.cost.rpc_client_overhead + self.cost.serialize(size)
             )
+            if tracer is not None:
+                mark = tracer.record("client.marshal", mark, self.sim.now,
+                                     parent=trace, node=node).end
             target = self.cluster.node(dst_node)
             hardened = self.cluster.faults is not None or not target.alive
             if not hardened:
@@ -154,8 +179,17 @@ class RpcClient:
                 # pre-chaos stub.
                 # 1-2. RDMA_SEND into the request buffer / NIC work queue.
                 yield from self.qp.send(dst_node, req, size)
+                if tracer is not None:
+                    # The client resumes before the server worker does, so
+                    # ``sent`` lands on the envelope ahead of execution.
+                    trace.attrs["sent"] = self.sim.now
+                    mark = tracer.record("client.send", mark, self.sim.now,
+                                         parent=trace, node=node).end
                 # 3-6. server executes; the CQE carries the response size.
                 response_size = yield completion
+                if tracer is not None:
+                    mark = tracer.record("server.wait", mark, self.sim.now,
+                                         parent=trace, node=node).end
                 # 7. client pull: RDMA_READ from the response buffer.
                 envelope = yield from self.qp.rdma_read(
                     dst_node, RpcServer.RESPONSE_REGION, req.slot,
@@ -167,9 +201,15 @@ class RpcClient:
                 response_size = yield from self._send_with_retry(
                     dst_node, target, req, size, completion
                 )
+                if tracer is not None:
+                    mark = tracer.record("rpc.deliver", mark, self.sim.now,
+                                         parent=trace, node=node).end
                 envelope = yield from self._pull_with_retry(
                     dst_node, req, response_size
                 )
+            if tracer is not None:
+                mark = tracer.record("client.pull", mark, self.sim.now,
+                                     parent=trace, node=node).end
             if envelope is None:
                 raise RemoteError(req.op, "response slot empty")
             if not envelope["ok"]:
@@ -179,8 +219,15 @@ class RpcClient:
                 fut._complete((envelope["value"], envelope["callbacks"]))
             else:
                 fut._complete(envelope["value"])
+            if tracer is not None:
+                tracer.record("client.settle", mark, self.sim.now,
+                              parent=trace, node=node)
+                tracer.finish(trace, self.sim.now)
         except BaseException as err:  # noqa: BLE001 - settle the future
             fut._error(err)
+            if tracer is not None:
+                trace.attrs["error"] = f"{type(err).__name__}: {err}"
+                tracer.finish(trace, self.sim.now)
 
     # -- hardened delivery ----------------------------------------------------
     def _send_with_retry(self, dst_node, target, req, size, completion):
@@ -203,6 +250,8 @@ class RpcClient:
                 try:
                     yield from self.qp.send(dst_node, req, size)
                     sent = True
+                    if req.trace is not None:
+                        req.trace.attrs.setdefault("sent", self.sim.now)
                 except FabricDropped:
                     # Transport-level NACK: retransmit after backoff.
                     continue

@@ -42,7 +42,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.simnet.stats import Counter
+from repro.obs.registry import registry_of
+from repro.obs.span import tracer_of
 
 __all__ = ["OpCoalescer", "ReadCache", "MISS"]
 
@@ -53,13 +54,15 @@ DEFAULT_MAX_BYTES = 32 * 1024
 class _Buffer:
     """Pending sub-operations bound for one (caller-node, partition) pair."""
 
-    __slots__ = ("rank", "part", "subops", "payload_bytes")
+    __slots__ = ("rank", "part", "subops", "payload_bytes", "opened_at")
 
-    def __init__(self, rank: int, part):
+    def __init__(self, rank: int, part, opened_at: float = 0.0):
         self.rank = rank
         self.part = part
         self.subops: List[Tuple[str, tuple]] = []
         self.payload_bytes = 0
+        #: sim time the first sub-op landed — start of the buffer span
+        self.opened_at = opened_at
 
 
 class OpCoalescer:
@@ -70,6 +73,7 @@ class OpCoalescer:
         if max_ops < 1:
             raise ValueError(f"aggregation buffer needs max_ops >= 1, got {max_ops}")
         self.container = container
+        self.sim = container.runtime.sim
         self.max_ops = int(max_ops)
         self.max_bytes = int(max_bytes)
         #: (node_id, part_index) -> pending buffer
@@ -77,11 +81,12 @@ class OpCoalescer:
         #: (node_id, part_index) -> in-flight flush futures
         self._inflight: Dict[Tuple[int, int], List] = {}
         name = container.name
-        self.flushes = Counter(f"{name}/agg_flushes")
-        self.flushed_ops = Counter(f"{name}/agg_ops")
-        self.flushed_bytes = Counter(f"{name}/agg_bytes")
-        self.threshold_flushes = Counter(f"{name}/agg_threshold_flushes")
-        self.sync_flushes = Counter(f"{name}/agg_sync_flushes")
+        metrics = registry_of(self.sim)
+        self.flushes = metrics.counter(f"{name}/agg_flushes")
+        self.flushed_ops = metrics.counter(f"{name}/agg_ops")
+        self.flushed_bytes = metrics.counter(f"{name}/agg_bytes")
+        self.threshold_flushes = metrics.counter(f"{name}/agg_threshold_flushes")
+        self.sync_flushes = metrics.counter(f"{name}/agg_sync_flushes")
 
     # -- write combining ------------------------------------------------------
     def append(self, rank: int, node_id: int, part, op: str, args: tuple,
@@ -90,7 +95,7 @@ class OpCoalescer:
         key = (node_id, part.index)
         buf = self._buffers.get(key)
         if buf is None:
-            buf = self._buffers[key] = _Buffer(rank, part)
+            buf = self._buffers[key] = _Buffer(rank, part, self.sim.now)
         buf.rank = rank  # flush on behalf of the most recent caller
         buf.subops.append((op, args))
         buf.payload_bytes += payload_bytes
@@ -125,8 +130,18 @@ class OpCoalescer:
         self.flushes.add(1)
         self.flushed_ops.add(len(buf.subops))
         self.flushed_bytes.add(buf.payload_bytes)
+        trace_parent = None
+        tracer = tracer_of(self.sim)
+        if tracer is not None:
+            # The buffer span covers first-append -> flush; the batch RPC
+            # it triggers becomes its child.
+            trace_parent = tracer.record(
+                "coalesce.buffer", buf.opened_at, self.sim.now, node=key[0],
+                attrs={"ops": len(buf.subops), "bytes": buf.payload_bytes},
+            )
         fut = self.container._spawn_batch(
-            buf.rank, buf.part, buf.subops, buf.payload_bytes
+            buf.rank, buf.part, buf.subops, buf.payload_bytes,
+            trace_parent=trace_parent,
         )
         inflight = self._inflight.setdefault(key, [])
         inflight.append(fut)
@@ -225,15 +240,16 @@ MISS = _Miss()
 class ReadCache:
     """Epoch-validated per-caller-node cache for keyed read results."""
 
-    def __init__(self, name: str):
+    def __init__(self, sim, name: str):
         #: (node_id, part_index) -> {key: (result, epoch)}
         self._entries: Dict[Tuple[int, int], Dict[Any, Tuple[Any, int]]] = {}
         #: (node_id, part_index) -> newest epoch seen on an RPC response
         self._observed: Dict[Tuple[int, int], int] = {}
-        self.hits = Counter(f"{name}/cache_hits")
-        self.misses = Counter(f"{name}/cache_misses")
-        self.invalidations = Counter(f"{name}/cache_invalidations")
-        self.stale_drops = Counter(f"{name}/cache_stale_drops")
+        metrics = registry_of(sim)
+        self.hits = metrics.counter(f"{name}/cache_hits")
+        self.misses = metrics.counter(f"{name}/cache_misses")
+        self.invalidations = metrics.counter(f"{name}/cache_invalidations")
+        self.stale_drops = metrics.counter(f"{name}/cache_stale_drops")
 
     def lookup(self, node_id: int, part, key):
         """Return the cached read result, or :data:`MISS`.

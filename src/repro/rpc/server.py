@@ -23,8 +23,9 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional
 
 from repro.fabric.node import Node
+from repro.obs.registry import registry_of
+from repro.obs.span import tracer_of
 from repro.serialization.databox import estimate_size
-from repro.simnet.stats import Counter, Histogram
 
 __all__ = ["RpcServer", "RpcContext", "RpcRequest"]
 
@@ -40,10 +41,10 @@ class RpcRequest:
     """In-flight request, carried as SEND payload through the fabric."""
 
     __slots__ = ("op", "args", "src_node", "slot", "response_size_hint",
-                 "callbacks", "token")
+                 "callbacks", "token", "trace")
 
     def __init__(self, op, args, src_node, slot, response_size_hint=0,
-                 callbacks=None, token=None):
+                 callbacks=None, token=None, trace=None):
         self.op = op
         self.args = args
         self.src_node = src_node
@@ -53,6 +54,10 @@ class RpcRequest:
         #: idempotency token ``(src_node, seq)`` — set only on hardened
         #: (retry-capable) invocations; ``None`` on the fair-weather path
         self.token = token
+        #: root :class:`~repro.obs.span.Span` of the traced invocation, or
+        #: ``None`` when tracing is off — this is how the op id rides the
+        #: envelope so the server can hang its stage spans off the client's
+        self.trace = trace
 
 
 class RpcContext:
@@ -106,10 +111,12 @@ class RpcServer:
         )
         self._completions: Dict[int, Any] = {}  # slot -> completion Event
         self._next_slot = 0
-        self.requests_served = Counter(f"rpc{node.node_id}/served")
-        self.batches = Counter(f"rpc{node.node_id}/batches")
-        self.exec_time = Histogram(f"rpc{node.node_id}/exec")
-        self.duplicates_suppressed = Counter(f"rpc{node.node_id}/dups_suppressed")
+        metrics = registry_of(self.sim)
+        self.requests_served = metrics.counter(f"rpc{node.node_id}/served")
+        self.batches = metrics.counter(f"rpc{node.node_id}/batches")
+        self.exec_time = metrics.histogram(f"rpc{node.node_id}/exec")
+        self.duplicates_suppressed = metrics.counter(
+            f"rpc{node.node_id}/dups_suppressed")
         #: token -> _IN_FLIGHT | (envelope, completion_size); insertion-ordered
         #: so eviction drops the oldest settled tokens first
         self._dedup: "OrderedDict[Any, Any]" = OrderedDict()
@@ -244,6 +251,15 @@ class RpcServer:
         self.response_region.put_object(req.slot, envelope)
         self.requests_served.add(1)
         self.exec_time.observe(self.sim.now - t0)
+        if req.trace is not None:
+            tracer = tracer_of(self.sim)
+            if tracer is not None:
+                node_id = self.node.node_id
+                sent = req.trace.attrs.get("sent", t0)
+                tracer.record("server.queue", sent, t0,
+                              parent=req.trace, node=node_id)
+                tracer.record("server.execute", t0, self.sim.now,
+                              parent=req.trace, node=node_id)
         completion_size = max(
             64, estimate_size(result) + 32 if failed is None else 128
         )

@@ -120,18 +120,36 @@ class Histogram:
         return self.total / self.n if self.n else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile from bucket upper bounds."""
+        """Approximate quantile from bucket upper bounds.
+
+        The bucket estimate (upper edge ``2**(bucket+1)``) is clamped into
+        the observed ``[min, max]`` range, so a single-bucket histogram —
+        where the edge can overshoot the largest sample by almost 2x —
+        returns a value that was actually observed, and ``q=0``/``q=1``
+        return the exact extremes.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0,1]")
         if self.n == 0:
             return 0.0
+        assert self.min is not None and self.max is not None
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
         target = q * self.n
         seen = 0
         for bucket in sorted(self.counts):
             seen += self.counts[bucket]
             if seen >= target:
-                return 2.0 ** (bucket + 1) if bucket > -64 else 0.0
-        return self.max or 0.0
+                if bucket == -64:
+                    return 0.0
+                return min(max(2.0 ** (bucket + 1), self.min), self.max)
+        return self.max
+
+    def percentiles(self, qs=(0.5, 0.9, 0.99)) -> Dict[str, float]:
+        """Named quantiles (``{"p50": ..., "p90": ..., "p99": ...}``)."""
+        return {f"p{100 * q:g}": self.quantile(q) for q in qs}
 
 
 def summarize(values: List[float]) -> Dict[str, float]:

@@ -9,6 +9,7 @@ timestamps for post-hoc analysis and debugging.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.simnet.core import Simulator
@@ -68,8 +69,10 @@ class Sampler:
         self.interval = interval
         self.probes: Dict[str, Callable[[], float]] = {}
         self.series: Dict[str, TimeSeries] = {}
+        self.probe_errors = 0
         self._running = False
         self._stopped = False
+        self._armed: "deque[float]" = deque()
 
     def add_probe(self, name: str, fn: Callable[[], float]) -> TimeSeries:
         self.probes[name] = fn
@@ -83,13 +86,85 @@ class Sampler:
         self._running = True
         self.sim.process(self._run(), name="sampler")
 
+    def schedule_at(self, times) -> None:
+        """Arm one-shot samples at absolute sim times (no re-arming process).
+
+        Unlike :meth:`start`, this never keeps the simulation alive: each
+        sample is a pre-scheduled callback, so the sim still drains when
+        the workload finishes.  The telemetry harness uses this to take a
+        fixed number of Fig-4 samples across a run of known duration.
+        """
+        now = self.sim.now
+        for t in times:
+            self.sim.schedule_callback(self.sample_once,
+                                       delay=max(0.0, t - now))
+
+    def arm(self, times) -> None:
+        """Arm one-shot samples at absolute sim times for :meth:`pump`.
+
+        Unlike :meth:`schedule_at`, armed samples are *not* simulator
+        events: they fire only while :meth:`pump` drives the simulation,
+        so they cannot advance the clock past the workload's natural end
+        or stretch a phase whose events drain before the sample times.
+        """
+        self._armed = deque(sorted(float(t) for t in times))
+
+    def pump(self, until: Optional[float] = None) -> float:
+        """Run the simulation, taking armed samples at exact times.
+
+        Drop-in replacement for ``Cluster.run`` / ``Simulator.run`` that
+        interleaves armed sample points with real event processing while
+        guaranteeing **zero perturbation**: the clock only advances by
+        processing real events, or by jumping across an idle gap the
+        untraced run would cross anyway (a later real event exists, or
+        ``until`` pads the clock past it).  In drain mode an armed sample
+        with no real event pending simply waits for a later ``pump`` call
+        (multi-phase workloads) or lapses when the workload ends — it
+        never keeps the simulation alive.
+        """
+        sim = self.sim
+        armed = self._armed
+        inf = float("inf")
+        while armed:
+            nxt = armed[0]
+            if until is not None and nxt > until:
+                break
+            if sim.now >= nxt:
+                armed.popleft()
+                self.sample_once()
+                continue
+            p = sim.peek()
+            if p <= nxt:
+                sim.step()
+            elif p != inf or until is not None:
+                # Idle gap the untraced clock crosses anyway — a later
+                # real event exists, or ``run(until=...)`` pads past it
+                # — so jump to the sample point and record there.
+                sim.run(until=nxt)
+            else:
+                break  # drain mode, nothing pending: never advance an
+                #        idle clock; remaining samples wait or lapse
+        sim.run(until=until)
+        return sim.now
+
     def stop(self) -> None:
         self._stopped = True
 
     def sample_once(self) -> None:
+        """Record every probe at the current sim time.
+
+        A probe that raises is skipped for this sample (counted in
+        ``probe_errors``) rather than killing the sampler process — one
+        faulty probe must not silence the others for the rest of the run.
+        """
         t = self.sim.now
         for name, fn in self.probes.items():
-            self.series[name].record(t, float(fn()))
+            try:
+                value = float(fn())
+            except Exception:
+                self.probe_errors += 1
+                continue
+            self.series[name].record(t, value)
 
     def _run(self):
         while not self._stopped:

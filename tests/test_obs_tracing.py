@@ -1,0 +1,206 @@
+"""End-to-end tests for RPC span tracing and the exporters.
+
+The two load-bearing invariants:
+
+* **Tiling** — a traced RPC's contiguous client-side stage spans sum
+  exactly to its end-to-end simulated latency (they partition the root
+  interval by construction).
+* **Purity** — tracing never perturbs the simulation: a traced run and an
+  untraced run of the same workload produce identical results and final
+  sim times.
+"""
+
+import json
+
+import pytest
+
+from repro.config import ares_like
+from repro.harness.aggbench import _run_app
+from repro.obs import (
+    STAGE_NAMES,
+    install_tracer,
+    span_record,
+    tracer_of,
+    validate_chrome_trace,
+    validate_span_log,
+    write_chrome_trace,
+    write_span_jsonl,
+)
+
+
+def _traced_run(app="kmer", aggregation=0, scale=0.25):
+    box = {}
+
+    def instrument(hcl):
+        box["sim"] = hcl.sim
+        install_tracer(hcl.sim)
+
+    spec = ares_like(nodes=2, procs_per_node=2)
+    ops, sim_s, verified, _agg = _run_app(app, spec, scale, aggregation,
+                                          instrument)
+    assert verified
+    return tracer_of(box["sim"]), sim_s
+
+
+def _rpc_roots(tracer):
+    """Spans for whole RPC invocations (`rpc.<op>`, not the deliver stage)."""
+    return [s for s in tracer.spans
+            if s.name.startswith("rpc.") and s.name not in STAGE_NAMES]
+
+
+@pytest.fixture(scope="module")
+def kmer_tracer():
+    tracer, _sim_s = _traced_run("kmer")
+    return tracer
+
+
+class TestStageTiling:
+    def test_stages_sum_to_e2e_latency(self, kmer_tracer):
+        rpcs = _rpc_roots(kmer_tracer)
+        assert len(rpcs) > 10
+        for root in rpcs:
+            stages = kmer_tracer.stage_children(root)
+            assert stages, f"rpc {root.name} has no stage spans"
+            total = sum(s.duration for s in stages)
+            assert total == pytest.approx(root.duration, rel=1e-9, abs=1e-15)
+
+    def test_stages_are_contiguous(self, kmer_tracer):
+        for root in _rpc_roots(kmer_tracer):
+            stages = sorted(kmer_tracer.stage_children(root),
+                            key=lambda s: s.start)
+            assert stages[0].start == root.start
+            assert stages[-1].end == root.end
+            for prev, nxt in zip(stages, stages[1:]):
+                assert nxt.start == prev.end
+
+    def test_fair_weather_stage_names(self, kmer_tracer):
+        root = _rpc_roots(kmer_tracer)[0]
+        names = [s.name for s in kmer_tracer.stage_children(root)]
+        assert names == ["client.marshal", "client.send", "server.wait",
+                         "client.pull", "client.settle"]
+
+    def test_server_detail_nests_in_wait(self, kmer_tracer):
+        root = _rpc_roots(kmer_tracer)[0]
+        children = {s.name: s for s in kmer_tracer.children_of(root)}
+        wait = children["server.wait"]
+        queue = children["server.queue"]
+        execute = children["server.execute"]
+        assert wait.start <= queue.start <= queue.end == execute.start
+        assert execute.end <= wait.end
+
+
+class TestHardenedPath:
+    def test_deliver_stage_tiles_under_retry_stack(self):
+        """The chaos harness's hardened client emits rpc.deliver spans."""
+        from repro.harness.chaos import run_chaos_soak
+
+        box = {}
+
+        def instrument(h):
+            box["sim"] = h.sim
+            install_tracer(h.sim)
+
+        run_chaos_soak(plan="calm", nodes=2, procs_per_node=1,
+                       keys_per_rank=4, kmers_per_rank=3, horizon=1e-3,
+                       instrument=instrument)
+        tracer = tracer_of(box["sim"])
+        rpcs = _rpc_roots(tracer)
+        assert rpcs
+        deliver = [s for s in tracer.spans if s.name == "rpc.deliver"]
+        assert deliver
+        for root in rpcs:
+            stages = tracer.stage_children(root)
+            total = sum(s.duration for s in stages)
+            assert total == pytest.approx(root.duration, rel=1e-9, abs=1e-15)
+
+
+class TestPurity:
+    def test_traced_run_is_bit_identical(self):
+        spec = ares_like(nodes=2, procs_per_node=2)
+        _ops, plain_s, plain_ok, _ = _run_app("kmer", spec, 0.25, 0, None)
+        tracer, traced_s = _traced_run("kmer")
+        assert plain_ok
+        assert traced_s == plain_s  # exact equality, not approx
+        assert len(tracer) > 0
+
+    def test_tracer_off_by_default(self):
+        from repro.simnet.core import Simulator
+
+        assert tracer_of(Simulator()) is None
+
+    def test_identical_runs_identical_span_logs(self):
+        a, _ = _traced_run("isx")
+        b, _ = _traced_run("isx")
+        assert [span_record(s) for s in a.spans] \
+            == [span_record(s) for s in b.spans]
+
+
+class TestCoalesceSpans:
+    def test_buffer_span_parents_batch_rpc(self):
+        tracer, _ = _traced_run("kmer", aggregation=8)
+        buffers = [s for s in tracer.spans if s.name == "coalesce.buffer"]
+        assert buffers
+        for buf in buffers:
+            children = tracer.children_of(buf)
+            assert any(c.name.startswith("rpc.") for c in children)
+            assert buf.attrs["ops"] >= 1
+            # The buffer opens at first append, before the flush RPC fires.
+            for child in children:
+                assert buf.start <= child.start
+
+    def test_batch_tiling_still_holds(self):
+        tracer, _ = _traced_run("kmer", aggregation=8)
+        for root in _rpc_roots(tracer):
+            total = sum(s.duration for s in tracer.stage_children(root))
+            assert total == pytest.approx(root.duration, rel=1e-9, abs=1e-15)
+
+
+class TestExporters:
+    def test_span_log_round_trip(self, kmer_tracer, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        n = write_span_jsonl(kmer_tracer.spans, path)
+        assert n == len(kmer_tracer.spans)
+        assert validate_span_log(path) == []
+
+    def test_chrome_trace_valid_and_shaped(self, kmer_tracer, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(kmer_tracer.spans, path)
+        assert validate_chrome_trace(path) == []
+        with open(path) as fh:
+            doc = json.load(fh)
+        events = doc["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert metas and slices
+        assert {e["args"]["name"] for e in metas} >= {"node0", "node1"}
+        # Roots are categorized "rpc", stages "stage".
+        assert {e["cat"] for e in slices} == {"rpc", "stage"}
+
+    def test_validator_rejects_tampered_log(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        good = {"trace_id": 1, "span_id": 1, "parent_id": None,
+                "name": "rpc.x", "node": 0, "start": 0.0, "end": 1.0,
+                "dur": 1.0}
+        lines = [
+            dict(good),
+            {**good, "span_id": 2, "dur": 0.5},           # dur != end-start
+            {**good, "span_id": 3, "end": -1.0},          # end < start, < min
+            {**good, "span_id": 4, "parent_id": 99},      # dangling parent
+            {**good, "span_id": 5, "extra": True},        # unexpected field
+            {**good, "span_id": "six"},                   # wrong type
+        ]
+        with open(path, "w") as fh:
+            for rec in lines:
+                fh.write(json.dumps(rec) + "\n")
+            fh.write("not json\n")
+        errors = validate_span_log(path)
+        assert len(errors) >= 6
+        assert any("parent_id 99" in e for e in errors)
+        assert any("invalid JSON" in e for e in errors)
+
+    def test_validator_rejects_missing_required(self, tmp_path):
+        path = str(tmp_path / "missing.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"trace_id": 1}) + "\n")
+        errors = validate_span_log(path)
+        assert any("missing required" in e for e in errors)

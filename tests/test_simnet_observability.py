@@ -178,6 +178,44 @@ class TestHistogram:
             h.observe(-1.0)
         with pytest.raises(ValueError):
             h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_empty_quantile(self):
+        h = Histogram()
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 0.0
+
+    def test_extreme_quantiles_exact(self):
+        h = Histogram()
+        for v in (3.0, 5.0, 11.0, 100.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 3.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_single_bucket_clamped(self):
+        # 5.0 lands in bucket [4, 8); the raw upper-edge estimate would be
+        # 8.0 — the clamp must return a value actually observed.
+        h = Histogram()
+        h.observe(5.0)
+        assert h.quantile(0.5) == 5.0
+
+    def test_single_value_all_quantiles(self):
+        h = Histogram()
+        h.observe(7.0)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert h.quantile(q) == 7.0
+
+    def test_percentiles_keys(self):
+        h = Histogram()
+        for i in range(1, 101):
+            h.observe(float(i))
+        p = h.percentiles()
+        assert set(p) == {"p50", "p90", "p99"}
+        assert p["p50"] <= p["p90"] <= p["p99"]
+        custom = h.percentiles(qs=(0.0, 1.0))
+        assert custom == {"p0": 1.0, "p100": 100.0}
 
 
 class TestSummarize:

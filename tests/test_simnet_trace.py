@@ -1,0 +1,203 @@
+"""Tests for the Sampler / TimeSeries / EventLog tracing layer.
+
+Satellite coverage for :mod:`repro.simnet.trace`: interval behavior over
+long runs, probe-exception isolation, one-shot ``schedule_at`` sampling
+(the telemetry harness's mechanism), empty-series reductions, and the
+EventLog bound.
+"""
+
+import pytest
+
+from repro.simnet import EventLog, Sampler, TimeSeries
+
+
+class TestSamplerIntervals:
+    def test_no_interval_drift(self, sim):
+        """100 samples at interval 0.1 land on exact multiples of 0.1.
+
+        The sampler re-arms with a fresh ``timeout(interval)`` each cycle,
+        so absolute sample times must not accumulate floating-point drift
+        beyond normal summation error.
+        """
+        sampler = Sampler(sim, interval=0.1)
+        clock = sampler.add_probe("t", lambda: sim.now)
+        sampler.start()
+        sim.timeout(10.0)
+        sim.run(until=10.0)
+        sampler.stop()
+        assert len(clock) >= 100
+        for i, t in enumerate(clock.times[:100]):
+            assert t == pytest.approx(i * 0.1, abs=1e-9)
+
+    def test_stop_halts_sampling(self, sim):
+        sampler = Sampler(sim, interval=1.0)
+        series = sampler.add_probe("x", lambda: 1.0)
+        sampler.start()
+        sim.timeout(10.0)
+        sim.run(until=3.5)
+        sampler.stop()
+        n = len(series)
+        sim.run(until=10.0)
+        # One more sample can already be scheduled at stop time, no more.
+        assert len(series) <= n + 1
+
+    def test_start_idempotent(self, sim):
+        sampler = Sampler(sim, interval=1.0)
+        series = sampler.add_probe("x", lambda: 1.0)
+        sampler.start()
+        sampler.start()  # second start must not spawn a second process
+        sim.timeout(3.0)
+        sim.run(until=3.0)
+        sampler.stop()
+        assert series.times == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestSamplerProbeErrors:
+    def test_probe_exception_isolated(self, sim):
+        """A raising probe is counted and skipped; others still record."""
+        sampler = Sampler(sim, interval=1.0)
+
+        def bad():
+            raise RuntimeError("probe hardware fell over")
+
+        broken = sampler.add_probe("bad", bad)
+        good = sampler.add_probe("good", lambda: 42.0)
+        sampler.sample_once()
+        sampler.sample_once()
+        assert sampler.probe_errors == 2
+        assert broken.values == []
+        assert good.values == [42.0, 42.0]
+
+    def test_probe_error_does_not_kill_sampler(self, sim):
+        sampler = Sampler(sim, interval=1.0)
+        calls = []
+
+        def flaky():
+            calls.append(sim.now)
+            if len(calls) == 2:
+                raise ValueError("transient")
+            return float(len(calls))
+
+        series = sampler.add_probe("flaky", flaky)
+        sampler.start()
+        sim.timeout(4.0)
+        sim.run(until=4.0)
+        sampler.stop()
+        assert sampler.probe_errors == 1
+        assert len(series) == len(calls) - 1  # only the raising call skipped
+
+
+class TestScheduleAt:
+    def test_one_shot_samples_at_absolute_times(self, sim):
+        sampler = Sampler(sim, interval=1.0)
+        clock = sampler.add_probe("t", lambda: sim.now)
+        sampler.schedule_at([0.5, 1.5, 2.5])
+        sim.timeout(5.0)
+        sim.run(until=5.0)
+        assert clock.times == [0.5, 1.5, 2.5]
+
+    def test_does_not_keep_sim_alive(self, sim):
+        """Pre-scheduled one-shot samples drain with the sim — no re-arm."""
+        sampler = Sampler(sim, interval=1.0)
+        sampler.add_probe("x", lambda: 1.0)
+        sampler.schedule_at([0.25, 0.75])
+        sim.run()  # must terminate: no process re-arms itself
+        assert sim.now == pytest.approx(0.75)
+
+    def test_past_times_fire_immediately(self, sim):
+        sim.timeout(2.0)
+        sim.run(until=2.0)
+        sampler = Sampler(sim, interval=1.0)
+        clock = sampler.add_probe("t", lambda: sim.now)
+        sampler.schedule_at([1.0])  # already in the past -> delay clamped to 0
+        sim.run()
+        assert clock.times == [2.0]
+
+
+class TestPump:
+    def test_samples_at_exact_armed_times(self, sim):
+        sampler = Sampler(sim, interval=1.0)
+        clock = sampler.add_probe("t", lambda: sim.now)
+        sampler.arm([0.5, 1.5, 2.5])
+        sim.timeout(5.0)  # real work spanning the sample window
+        sampler.pump(until=5.0)
+        assert clock.times == [0.5, 1.5, 2.5]
+        assert sim.now == 5.0
+
+    def test_never_advances_an_idle_clock(self, sim):
+        """Armed samples past the last real event lapse — zero perturbation."""
+        sampler = Sampler(sim, interval=1.0)
+        clock = sampler.add_probe("t", lambda: sim.now)
+        sampler.arm([0.25, 0.75, 2.0, 3.0])
+        sim.timeout(1.0)  # workload ends at t=1.0
+        sampler.pump()
+        assert sim.now == 1.0  # NOT 3.0: samples never drive the clock
+        assert clock.times == [0.25, 0.75]
+        assert list(sampler._armed) == [2.0, 3.0]  # paused, not dropped
+
+    def test_multi_phase_run_unperturbed(self, sim):
+        """Samples pause at a phase boundary and resume in the next pump.
+
+        This is the regression the pump exists for: simulator-scheduled
+        samples would stretch phase 1 to the last sample time before
+        phase 2's events were spawned.
+        """
+        sampler = Sampler(sim, interval=1.0)
+        clock = sampler.add_probe("t", lambda: sim.now)
+        sampler.arm([0.5, 1.5, 2.5, 3.5])
+        # Phase 1: events drain at t=1.0; samples at 1.5+ must wait.
+        sim.timeout(1.0)
+        assert sampler.pump() == 1.0
+        assert clock.times == [0.5]
+        # Phase 2 spawns *after* phase 1's run call returned, as a
+        # multi-phase app does.  Later samples fire during phase 2.
+        sim.timeout(3.0)
+        assert sampler.pump() == 4.0
+        assert clock.times == [0.5, 1.5, 2.5, 3.5]
+
+    def test_pump_without_armed_samples_is_plain_run(self, sim):
+        sampler = Sampler(sim, interval=1.0)
+        sim.timeout(2.0)
+        assert sampler.pump(until=5.0) == 5.0  # run(until=...) pads the clock
+
+    def test_until_bounds_sampling(self, sim):
+        sampler = Sampler(sim, interval=1.0)
+        clock = sampler.add_probe("t", lambda: sim.now)
+        sampler.arm([0.5, 1.5])
+        sim.timeout(3.0)
+        sampler.pump(until=1.0)
+        assert clock.times == [0.5]  # the 1.5 sample is beyond `until`
+        assert sim.now == 1.0
+
+
+class TestTimeSeriesEdges:
+    def test_empty_rate_series(self):
+        assert TimeSeries().rate_series().rows() == []
+
+    def test_single_point_rate_series(self):
+        ts = TimeSeries()
+        ts.record(1.0, 10.0)
+        assert ts.rate_series().rows() == []
+
+    def test_zero_dt_skipped(self):
+        ts = TimeSeries()
+        ts.record(1.0, 10.0)
+        ts.record(1.0, 20.0)  # same timestamp: no rate point
+        ts.record(2.0, 40.0)
+        rate = ts.rate_series()
+        assert rate.rows() == [(2.0, 20.0)]
+
+
+class TestEventLogBound:
+    def test_unbounded_by_default(self, sim):
+        log = EventLog(sim)
+        for i in range(100):
+            log.log("e", i)
+        assert len(log) == 100 and log.dropped == 0
+
+    def test_limit_keeps_oldest(self, sim):
+        log = EventLog(sim, limit=3)
+        for i in range(10):
+            log.log("e", i)
+        assert [p for _t, p in log.of_kind("e")] == [0, 1, 2]
+        assert log.dropped == 7

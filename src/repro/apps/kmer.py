@@ -45,7 +45,8 @@ def _reads_for_rank(data: GenomeData, rank: int, total: int):
 
 def run_kmer_counting(backend: str, spec: ClusterSpec, data: GenomeData,
                       min_count: int = 1, aggregation: int = 0,
-                      instrument=None) -> KmerResult:
+                      instrument=None, batch_charge: bool = False,
+                      sim_only: bool = False) -> KmerResult:
     """Count k-mers on ``backend``.
 
     ``min_count`` is Meraculous's noise filter: k-mers observed fewer than
@@ -56,9 +57,19 @@ def run_kmer_counting(backend: str, spec: ClusterSpec, data: GenomeData,
     destination partition into one invocation.  Upserts are commutative,
     so the final histogram is identical; 0 keeps the classic
     one-invocation-per-k-mer behavior.
+
+    ``batch_charge`` (HCL only): fused closed-form charging of uncontended
+    coalescer flush transport (see ``DistributedContainer``).
+
+    ``sim_only`` (HCL only): timing-only mode — skips the exact sequential
+    reference histogram (which re-counts every k-mer single-threaded) in
+    favor of O(distinct) conservation checks.  Upsert deltas are semantic
+    and never stubbed, so the histogram itself is still exact and the
+    simulated timeline is bit-identical to the full-data run.
     """
     if backend == "hcl":
-        return _run_hcl(spec, data, min_count, aggregation, instrument)
+        return _run_hcl(spec, data, min_count, aggregation, instrument,
+                        batch_charge=batch_charge, sim_only=sim_only)
     if backend == "bcl":
         return _run_bcl(spec, data, min_count)
     raise ValueError(f"unknown backend {backend!r}")
@@ -71,6 +82,17 @@ def _verify(counts: dict, data: GenomeData, min_count: int) -> bool:
     return counts == reference
 
 
+def _verify_cheap(raw_counts: dict, data: GenomeData, seen: int) -> bool:
+    """Conservation invariants for ``sim_only`` runs (pre-filter counts):
+    every upsert landed exactly once, every stored k-mer has the right
+    width, and no count is non-positive."""
+    if sum(raw_counts.values()) != seen:
+        return False
+    return all(
+        len(k) == data.k and c > 0 for k, c in raw_counts.items()
+    )
+
+
 def _apply_filter(counts: dict, min_count: int):
     kept = {k: c for k, c in counts.items() if c >= min_count}
     return kept, len(counts) - len(kept)
@@ -78,10 +100,12 @@ def _apply_filter(counts: dict, min_count: int):
 
 def _run_hcl(spec: ClusterSpec, data: GenomeData,
              min_count: int = 1, aggregation: int = 0,
-             instrument=None) -> KmerResult:
+             instrument=None, batch_charge: bool = False,
+             sim_only: bool = False) -> KmerResult:
     hcl = HCL(spec)
     table = hcl.unordered_map("kmers", partitions=hcl.num_nodes,
-                              initial_buckets=1024, aggregation=aggregation)
+                              initial_buckets=1024, aggregation=aggregation,
+                              batch_charge=batch_charge, sim_only=sim_only)
     if instrument is not None:
         instrument(hcl)
     total_procs = spec.total_procs
@@ -104,9 +128,11 @@ def _run_hcl(spec: ClusterSpec, data: GenomeData,
 
     hcl.run_ranks(rank_body)
     counts = {k: v for part in table.partitions for k, v in part.structure.items()}
+    verified_cheap = _verify_cheap(counts, data, seen) if sim_only else False
     counts, filtered = _apply_filter(counts, min_count)
+    verified = verified_cheap if sim_only else _verify(counts, data, min_count)
     return KmerResult("hcl", hcl.num_nodes, seen, len(counts), hcl.now,
-                      _verify(counts, data, min_count), filtered_kmers=filtered,
+                      verified, filtered_kmers=filtered,
                       agg_report=table.aggregation_report() or None)
 
 

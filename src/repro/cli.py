@@ -166,25 +166,48 @@ def _cmd_fig7(args) -> int:
 
     apps = args.apps or ["isx", "kmer", "contig"]
     nodes_sweep = args.nodes or [2, 4, 8]
+    hcl_only = args.hcl_only
     for app in apps:
         rows = []
         for nodes in nodes_sweep:
             spec = ares_like(nodes=nodes, procs_per_node=args.procs)
+            b = None
             if app == "isx":
-                h = run_isx("hcl", spec, keys_per_rank=sc(args.ops))
-                b = run_isx("bcl", spec, keys_per_rank=sc(args.ops))
+                h = run_isx("hcl", spec, keys_per_rank=sc(args.ops),
+                            aggregation=args.aggregation,
+                            batch_charge=args.batch_charge,
+                            sim_only=args.container_sim_only)
+                if not hcl_only:
+                    b = run_isx("bcl", spec, keys_per_rank=sc(args.ops))
             else:
                 data = synthesize_genome(
                     genome_length=sc(300 * nodes), num_reads=sc(24 * nodes),
                     read_length=60, k=15, seed=nodes,
                 )
-                runner = (run_kmer_counting if app == "kmer"
-                          else run_contig_generation)
-                h = runner("hcl", spec, data)
-                b = runner("bcl", spec, data)
-            assert h.verified and b.verified, f"{app} failed verification"
-            rows.append([nodes, b.time_seconds, h.time_seconds,
-                         b.time_seconds / h.time_seconds])
+                if app == "kmer":
+                    h = run_kmer_counting(
+                        "hcl", spec, data, aggregation=args.aggregation,
+                        batch_charge=args.batch_charge,
+                        sim_only=args.container_sim_only,
+                    )
+                    if not hcl_only:
+                        b = run_kmer_counting("bcl", spec, data)
+                else:
+                    # contig traverses stored values: no sim-only mode.
+                    h = run_contig_generation(
+                        "hcl", spec, data, aggregation=args.aggregation,
+                        read_cache=bool(args.aggregation),
+                        batch_charge=args.batch_charge,
+                    )
+                    if not hcl_only:
+                        b = run_contig_generation("bcl", spec, data)
+            assert h.verified, f"{app} (hcl) failed verification"
+            if b is None:
+                rows.append([nodes, "-", h.time_seconds, "-"])
+            else:
+                assert b.verified, f"{app} (bcl) failed verification"
+                rows.append([nodes, b.time_seconds, h.time_seconds,
+                             b.time_seconds / h.time_seconds])
         print(render_table(
             f"Fig 7 — {app} weak scaling",
             ["nodes", "bcl (s)", "hcl (s)", "speedup"], rows,
@@ -245,6 +268,7 @@ def _cmd_kernelbench(args) -> int:
         procs=args.procs,
         timeouts_per_proc=args.timeouts,
         pooling=not args.no_pooling,
+        scheduler=args.scheduler,
     )
     if args.trace or args.metrics_out:
         rep, tracer, registry = traced_kernel_bench(
@@ -257,7 +281,10 @@ def _cmd_kernelbench(args) -> int:
         f"{args.repeats} runs)",
         ["metric", "value"], rep.rows(),
     ))
-    if args.emit:
+    # Always rewrite the JSON with the run just reported (unless told not
+    # to): a committed BENCH_kernel.json that disagrees with the printed
+    # table is exactly the drift this guards against.
+    if not args.no_emit:
         print(f"wrote {emit_bench_json(rep, args.emit)}")
     if args.trace:
         _export_trace(tracer, args.trace)
@@ -283,6 +310,8 @@ def _cmd_aggbench(args) -> int:
         sim_only=args.sim_only,
         trace=bool(args.trace),
         collector=collector,
+        batch_charge=args.batch_charge,
+        container_sim_only=args.container_sim_only,
     )
     print(render_table(
         f"Aggregation sweep (scale={args.scale}, "
@@ -311,10 +340,14 @@ def _cmd_aggbench(args) -> int:
     if args.metrics_out and collector:
         import json
 
-        from repro.obs import metrics_snapshot, registry_of
+        from repro.obs import (
+            metrics_snapshot, publish_scheduler_metrics, registry_of,
+        )
 
-        combined = {label: metrics_snapshot(registry_of(sim))
-                    for label, sim in collector}
+        combined = {}
+        for label, sim in collector:
+            publish_scheduler_metrics(sim)
+            combined[label] = metrics_snapshot(registry_of(sim))
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             json.dump(combined, fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -495,6 +528,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="ISx keys per rank")
     p7.add_argument("--scale", type=_positive_float, default=1.0,
                     help="work multiplier (keys/reads; default 1.0)")
+    p7.add_argument("--aggregation", type=int, default=0,
+                    help="HCL write-combining buffer size (0 = off)")
+    p7.add_argument("--hcl-only", action="store_true",
+                    help="skip the BCL comparison runs (full-paper-scale "
+                         "sweeps where the client-driven baseline is "
+                         "prohibitive)")
+    p7.add_argument("--batch-charge", action="store_true",
+                    help="fused charging of uncontended coalescer flushes")
+    p7.add_argument("--container-sim-only", action="store_true",
+                    help="container timing-only mode for isx/kmer")
     p7.set_defaults(fn=_cmd_fig7)
 
     pk = sub.add_parser("kernelbench",
@@ -506,9 +549,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="take the best of N runs")
     pk.add_argument("--no-pooling", action="store_true",
                     help="disable the event free-list pool")
+    pk.add_argument("--scheduler", choices=["calendar", "heap"],
+                    default="calendar",
+                    help="far-lane event structure (identical event order; "
+                         "only wall throughput differs)")
     pk.add_argument("--emit", nargs="?", const="BENCH_kernel.json",
-                    default=None, metavar="PATH",
-                    help="write the result as JSON (default BENCH_kernel.json)")
+                    default="BENCH_kernel.json", metavar="PATH",
+                    help="JSON path, always rewritten with the reported run "
+                         "(default BENCH_kernel.json)")
+    pk.add_argument("--no-emit", action="store_true",
+                    help="skip writing the JSON result")
     pk.add_argument("--trace", nargs="?", const="kernel_trace",
                     default=None, metavar="PREFIX",
                     help="record wall-clock spans per repeat; write "
@@ -536,6 +586,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="wall time takes the best of N runs")
     pa.add_argument("--sim-only", action="store_true",
                     help="omit wall-clock fields (deterministic JSON)")
+    pa.add_argument("--batch-charge", action="store_true",
+                    help="fused closed-form charging of uncontended "
+                         "coalescer flushes (results still verified)")
+    pa.add_argument("--container-sim-only", action="store_true",
+                    help="container timing-only mode for isx/kmer: stubbed "
+                         "payloads + cheap invariant verification; sim "
+                         "times are bit-identical to full-data runs")
     pa.add_argument("--emit", nargs="?", const="BENCH_agg.json",
                     default=None, metavar="PATH",
                     help="write the sweep as JSON (default BENCH_agg.json)")

@@ -30,7 +30,7 @@ from repro.memory.segment import MemorySegment
 from repro.obs.registry import registry_of
 from repro.rpc.coalesce import MISS, OpCoalescer, ReadCache
 from repro.rpc.future import RPCFuture
-from repro.serialization.databox import DataBox, estimate_size
+from repro.serialization.databox import DataBox, SizedStub, estimate_size
 from repro.structures.stats import OpStats
 
 __all__ = ["Partition", "DistributedContainer"]
@@ -89,6 +89,8 @@ class DistributedContainer:
         aggregation: int = 0,
         aggregation_bytes: int = 32 * 1024,
         read_cache: bool = False,
+        batch_charge: bool = False,
+        sim_only: bool = False,
     ):
         if concurrency not in self.CONCURRENCY_LEVELS:
             raise ValueError(
@@ -98,6 +100,11 @@ class DistributedContainer:
             raise ValueError("write_failover requires replication >= 1")
         if aggregation < 0:
             raise ValueError("aggregation must be >= 0 (0 disables buffering)")
+        if sim_only and persistence:
+            raise ValueError(
+                "sim_only replaces payloads with size stubs; incompatible "
+                "with persistence (the log must hold real values)"
+            )
         self.runtime = runtime
         self.name = name
         self.partitions: List[Partition] = list(partitions)
@@ -122,6 +129,18 @@ class DistributedContainer:
         #: locality-aware read cache for read-mostly data; epoch-validated
         #: so a cached read can never observe a stale value.
         self._cache = ReadCache(runtime.sim, name) if read_cache else None
+        #: batch-charged transport (perf): coalescer flush batches ask the
+        #: RPC layer for closed-form fused charging of uncontended SENDs and
+        #: response pulls.  Off by default — fused transport collapses the
+        #: per-stage event train, so results are semantically equivalent but
+        #: same-instant interleaving is not bit-identical to per-packet runs.
+        self.batch_charge = batch_charge
+        #: sim-only mode (perf): declared opaque value arguments are swapped
+        #: for size-preserving stubs before storage and marshalling, so
+        #: benches that only need timing skip real payload movement.  Every
+        #: simulated cost derives from the same sizes (bit-identical
+        #: timeline); keyed reads return stubs instead of real data.
+        self.sim_only = sim_only
         metrics = registry_of(runtime.sim)
         self.ledger = CostLedger(metrics, prefix=name)
         self.local_hits = metrics.counter(f"{name}/local")
@@ -215,6 +234,29 @@ class DistributedContainer:
     #: correctness authority; this is eager cleanup).
     KEYED_MUTATIONS = frozenset({"insert", "erase", "upsert"})
 
+    #: ``sim_only`` declaration: op -> index (into ``args``) of the opaque
+    #: value argument.  Only ops whose value is stored/forwarded verbatim
+    #: and never interpreted server-side are eligible; subclasses override.
+    SIM_ONLY_VALUE_ARGS: Dict[str, int] = {}
+
+    def _stub_args(self, op: str, args: tuple) -> tuple:
+        """Swap a declared opaque value for a size-preserving stub.
+
+        ``estimate_size`` of the stub equals that of the original, so every
+        downstream size computation (payload charge, server-side
+        ``entry_bytes``, response sizing) is bit-identical; only the real
+        Python payload stops moving.
+        """
+        idx = self.SIM_ONLY_VALUE_ARGS.get(op)
+        if idx is None or idx >= len(args):
+            return args
+        value = args[idx]
+        if value is None or type(value) is SizedStub:
+            return args
+        out = list(args)
+        out[idx] = SizedStub(estimate_size(value))
+        return tuple(out)
+
     # -- the hybrid access core -------------------------------------------------
     def _execute(self, rank: int, part: Partition, op: str, args: tuple,
                  payload_bytes: int, _drain: bool = True, trace_parent=None):
@@ -229,6 +271,8 @@ class DistributedContainer:
         program order per rank is preserved.  ``_drain=False`` is reserved
         for the coalescer's own flush batches.
         """
+        if self.sim_only:
+            args = self._stub_args(op, args)
         caller_node = self.runtime.cluster.node_of_rank(rank)
         if self._coalescer is not None and _drain:
             yield from self._coalescer.drain(rank, part.index)
@@ -280,6 +324,7 @@ class DistributedContainer:
                 payload_size=payload_bytes,
                 token=token,
                 trace_parent=trace_parent,
+                fused=(self.batch_charge and op == "batch"),
             )
             if self._cache is not None:
                 # Epoch piggybacked on the response: prune entries that
@@ -420,6 +465,8 @@ class DistributedContainer:
         Local operations still complete through a spawned process so that
         their memory cost lands on the timeline.
         """
+        if self.sim_only:
+            args = self._stub_args(op, args)
         caller_node = self.runtime.cluster.node_of_rank(rank)
         if caller_node == part.node_id:
             fut = RPCFuture(self.runtime.sim, f"{self.name}.{op}")
@@ -457,6 +504,7 @@ class DistributedContainer:
             f"{self.name}.{op}",
             (part.index, *args),
             payload_size=payload_bytes,
+            fused=(self.batch_charge and op == "batch"),
         )
 
     # -- client-side aggregation (Section III-C3, Table I amortization) ----------
@@ -502,6 +550,8 @@ class DistributedContainer:
         buffer (returning None immediately); it is applied by the next
         threshold or sync-point flush.
         """
+        if self.sim_only:
+            args = self._stub_args(op, args)
         caller_node = self.runtime.cluster.node_of_rank(rank)
         if self._coalescer is None or caller_node == part.node_id:
             result = yield from self._execute(
@@ -579,9 +629,12 @@ class DistributedContainer:
         groups = {}
         for idx, entry in enumerate(ops):
             op, key, *rest = entry
+            args = (key, *rest)
+            if self.sim_only:
+                args = self._stub_args(op, args)
             part = self.partition_for(key)
             groups.setdefault(part.index, (part, []))[1].append(
-                (idx, op, (key, *rest))
+                (idx, op, args)
             )
         results = [None] * len(ops)
         futures = []

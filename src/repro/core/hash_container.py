@@ -395,6 +395,10 @@ class _HashContainerBase(DistributedContainer):
 class HCLUnorderedMap(_HashContainerBase):
     """Distributed hash map: ``insert(k, v)``, ``find(k)``, ``erase(k)``."""
 
+    #: mapped values are stored verbatim; keys (and upsert deltas, which
+    #: the server adds) must stay real.
+    SIM_ONLY_VALUE_ARGS = {"insert": 1}
+
     # -- server-side ops: (result, stats, entry_bytes) ------------------------
     def _do_insert(self, part: Partition, key, value):
         entry_bytes = self._entry_bytes(key, value)

@@ -221,6 +221,9 @@ class _SortKey:
 class HCLMap(_OrderedContainerBase):
     """Distributed ordered map over red-black trees."""
 
+    #: mapped values are stored verbatim; ordering uses keys alone.
+    SIM_ONLY_VALUE_ARGS = {"insert": 1}
+
     def _do_insert(self, part: Partition, key, value):
         entry_bytes = self._entry_bytes(key, value)
         _new, stats = part.structure.insert(key, value)

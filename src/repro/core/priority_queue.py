@@ -27,6 +27,10 @@ class HCLPriorityQueue(DistributedContainer):
     OPERATIONS = ("push", "pop", "push_many", "pop_many", "peek", "size",
                   "batch")
 
+    #: push values ride along the priority and are never interpreted
+    #: server-side (ordering uses the priority alone).
+    SIM_ONLY_VALUE_ARGS = {"push": 1}
+
     def __init__(self, runtime, name, partitions, **kwargs):
         super().__init__(runtime, name, partitions, **kwargs)
         if len(self.partitions) != 1:

@@ -29,6 +29,9 @@ class HCLQueue(DistributedContainer):
 
     OPERATIONS = ("push", "pop", "push_many", "pop_many", "size")
 
+    #: FIFO values are stored verbatim and never interpreted server-side.
+    SIM_ONLY_VALUE_ARGS = {"push": 0}
+
     def __init__(self, runtime, name, partitions, **kwargs):
         super().__init__(runtime, name, partitions, **kwargs)
         if len(self.partitions) != 1:

@@ -54,11 +54,13 @@ class HCL:
         rpc_batch_size: int = 1,
         persist_dir: Optional[str] = None,
         fault_plan=None,
+        scheduler: str = "calendar",
     ):
         if isinstance(spec_or_cluster, Cluster):
             self.cluster = spec_or_cluster
         else:
-            self.cluster = Cluster(spec_or_cluster, provider=provider)
+            self.cluster = Cluster(spec_or_cluster, provider=provider,
+                                   scheduler=scheduler)
         if fault_plan is not None:
             self.cluster.install_faults(fault_plan)
         self.sim = self.cluster.sim
@@ -150,6 +152,8 @@ class HCL:
         aggregation: int = 0,
         aggregation_bytes: int = 32 * 1024,
         read_cache: bool = False,
+        batch_charge: bool = False,
+        sim_only: bool = False,
         recover: bool = False,
     ) -> HCLUnorderedMap:
         """An ``HCL::unordered_map`` distributed over ``partitions`` nodes."""
@@ -167,7 +171,8 @@ class HCL:
             replication=replication, persistence=persistence,
             concurrency=concurrency, write_failover=write_failover,
             aggregation=aggregation, aggregation_bytes=aggregation_bytes,
-            read_cache=read_cache,
+            read_cache=read_cache, batch_charge=batch_charge,
+            sim_only=sim_only,
         )
         self.containers[name] = container
         if recover:
@@ -192,6 +197,8 @@ class HCL:
         aggregation: int = 0,
         aggregation_bytes: int = 32 * 1024,
         read_cache: bool = False,
+        batch_charge: bool = False,
+        sim_only: bool = False,
         recover: bool = False,
     ) -> HCLUnorderedSet:
         hash_fn = hash_fn or stable_hash
@@ -206,7 +213,8 @@ class HCL:
             replication=replication, persistence=persistence,
             concurrency=concurrency, write_failover=write_failover,
             aggregation=aggregation, aggregation_bytes=aggregation_bytes,
-            read_cache=read_cache,
+            read_cache=read_cache, batch_charge=batch_charge,
+            sim_only=sim_only,
         )
         self.containers[name] = container
         if recover:
@@ -231,6 +239,8 @@ class HCL:
         aggregation: int = 0,
         aggregation_bytes: int = 32 * 1024,
         read_cache: bool = False,
+        batch_charge: bool = False,
+        sim_only: bool = False,
         recover: bool = False,
     ) -> HCLMap:
         """An ``HCL::map`` (ordered) distributed by key-space partitioning."""
@@ -245,7 +255,8 @@ class HCL:
             replication=replication, persistence=persistence,
             concurrency=concurrency, write_failover=write_failover,
             aggregation=aggregation, aggregation_bytes=aggregation_bytes,
-            read_cache=read_cache,
+            read_cache=read_cache, batch_charge=batch_charge,
+            sim_only=sim_only,
         )
         self.containers[name] = container
         if recover:
@@ -270,6 +281,8 @@ class HCL:
         aggregation: int = 0,
         aggregation_bytes: int = 32 * 1024,
         read_cache: bool = False,
+        batch_charge: bool = False,
+        sim_only: bool = False,
         recover: bool = False,
     ) -> HCLSet:
         count = partitions if partitions is not None else self.num_nodes
@@ -283,7 +296,8 @@ class HCL:
             replication=replication, persistence=persistence,
             concurrency=concurrency, write_failover=write_failover,
             aggregation=aggregation, aggregation_bytes=aggregation_bytes,
-            read_cache=read_cache,
+            read_cache=read_cache, batch_charge=batch_charge,
+            sim_only=sim_only,
         )
         self.containers[name] = container
         if recover:
@@ -303,6 +317,8 @@ class HCL:
         aggregation: int = 0,
         aggregation_bytes: int = 32 * 1024,
         read_cache: bool = False,
+        batch_charge: bool = False,
+        sim_only: bool = False,
         recover: bool = False,
     ) -> HCLQueue:
         """An ``HCL::queue`` hosted on ``home_node`` (single partition)."""
@@ -314,7 +330,8 @@ class HCL:
             self, name, parts, codec=codec, persistence=persistence,
             concurrency=concurrency,
             aggregation=aggregation, aggregation_bytes=aggregation_bytes,
-            read_cache=read_cache,
+            read_cache=read_cache, batch_charge=batch_charge,
+            sim_only=sim_only,
         )
         self.containers[name] = container
         if recover:
@@ -336,6 +353,8 @@ class HCL:
         aggregation: int = 0,
         aggregation_bytes: int = 32 * 1024,
         read_cache: bool = False,
+        batch_charge: bool = False,
+        sim_only: bool = False,
         recover: bool = False,
     ) -> HCLPriorityQueue:
         parts = self._make_partitions(
@@ -347,7 +366,8 @@ class HCL:
             self, name, parts, codec=codec, persistence=persistence,
             concurrency=concurrency,
             aggregation=aggregation, aggregation_bytes=aggregation_bytes,
-            read_cache=read_cache,
+            read_cache=read_cache, batch_charge=batch_charge,
+            sim_only=sim_only,
         )
         self.containers[name] = container
         if recover:

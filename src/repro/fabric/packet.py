@@ -30,13 +30,17 @@ class Verb(enum.Enum):
     FETCH_ADD = "atomic_faa"  # remote fetch-and-add
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single fabric transfer.
 
     ``size`` is payload bytes; wire size adds the header per packet-train.
     ``payload`` carries the *real* Python data so upper layers stay
     functional, not just timed.
+
+    Slotted: one Message is allocated per remote op (plus one per fused
+    response), so the dict-free layout is measurable at full-paper scale —
+    see ``benchmarks/test_alloc_micro.py``.
     """
 
     verb: Verb

@@ -47,6 +47,7 @@ class KernelBenchReport:
     procs: int
     timeouts_per_proc: int
     pooling: bool
+    scheduler: str
     events_processed: int
     events_recycled: int
     wall_seconds: float
@@ -58,6 +59,7 @@ class KernelBenchReport:
         return [
             ["workload", f"{self.procs} procs x {self.timeouts_per_proc} timeouts"],
             ["pooling", "on" if self.pooling else "off"],
+            ["scheduler", self.scheduler],
             ["events processed", f"{self.events_processed:,}"],
             ["events recycled", f"{self.events_recycled:,}"],
             ["wall time", f"{self.wall_seconds:.3f} s"],
@@ -71,6 +73,8 @@ def run_kernel_bench(
     timeouts_per_proc: int = REFERENCE_TIMEOUTS,
     pooling: bool = True,
     delay: float = 1e-6,
+    scheduler: str = "calendar",
+    registry=None,
 ) -> KernelBenchReport:
     """Run the reference workload once and report wall-clock throughput.
 
@@ -78,8 +82,14 @@ def run_kernel_bench(
     ``timeouts_per_proc`` short timeouts back to back, which exercises the
     near-future lane, the timeout pool, and the inlined resume loop — the
     same three paths every fabric charge rides.
+
+    ``scheduler`` selects the far-lane event structure ("calendar" or
+    "heap"); both retire events in bit-identical order, so only wall
+    throughput differs between the two variants.  Pass a
+    :class:`~repro.obs.MetricsRegistry` as ``registry`` to receive the
+    post-run ``scheduler/*`` gauges.
     """
-    sim = Simulator(pooling=pooling)
+    sim = Simulator(pooling=pooling, scheduler=scheduler)
 
     def worker():
         timeout = sim.timeout
@@ -92,6 +102,10 @@ def run_kernel_bench(
     sim.run()
     wall = time.perf_counter() - t0
 
+    if registry is not None:
+        from repro.obs import publish_scheduler_metrics
+
+        publish_scheduler_metrics(sim, registry)
     stats = sim.kernel_stats()
     events = stats["events_processed"]
     evps = events / wall if wall > 0 else float("inf")
@@ -99,6 +113,7 @@ def run_kernel_bench(
         procs=procs,
         timeouts_per_proc=timeouts_per_proc,
         pooling=pooling,
+        scheduler=scheduler,
         events_processed=events,
         events_recycled=stats["events_recycled"],
         wall_seconds=wall,
@@ -138,7 +153,7 @@ def traced_kernel_bench(repeats: int = 3, **kwargs):
     best: Optional[KernelBenchReport] = None
     for i in range(max(1, repeats)):
         span = tracer.begin("kernel.repeat", parent=root, attrs={"repeat": i})
-        rep = run_kernel_bench(**kwargs)
+        rep = run_kernel_bench(registry=registry, **kwargs)
         tracer.finish(span)
         span.attrs["events"] = rep.events_processed
         span.attrs["events_per_sec"] = round(rep.events_per_sec)

@@ -13,7 +13,11 @@ See ``docs/OBSERVABILITY.md`` for the naming scheme, span stages and
 exporter formats.
 """
 
-from repro.obs.registry import MetricsRegistry, registry_of
+from repro.obs.registry import (
+    MetricsRegistry,
+    publish_scheduler_metrics,
+    registry_of,
+)
 from repro.obs.span import (
     STAGE_NAMES,
     Span,
@@ -35,6 +39,7 @@ from repro.obs.exporters import (
 
 __all__ = [
     "MetricsRegistry",
+    "publish_scheduler_metrics",
     "registry_of",
     "Span",
     "Tracer",

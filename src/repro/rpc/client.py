@@ -52,6 +52,12 @@ _REQUEST_HEADER_BYTES = 48  # op name, slot, caller id, framing
 class RpcClient:
     """Issues RoR invocations from one source node."""
 
+    __slots__ = (
+        "cluster", "sim", "cost", "src_node", "servers", "qp",
+        "invocations", "latency", "retries", "timeouts", "exhausted",
+        "fused_hits", "fused_fallbacks", "_token_seq",
+    )
+
     def __init__(self, cluster, src_node: int, servers: Dict[int, RpcServer]):
         self.cluster = cluster
         self.sim = cluster.sim
@@ -66,6 +72,9 @@ class RpcClient:
         self.retries = metrics.counter(f"rpcc{src_node}/retries")
         self.timeouts = metrics.counter(f"rpcc{src_node}/timeouts")
         self.exhausted = metrics.counter(f"rpcc{src_node}/exhausted")
+        # -- batch-charge observability (shared, cluster-wide counters) ------
+        self.fused_hits = metrics.counter("scheduler/batch_charge_hits")
+        self.fused_fallbacks = metrics.counter("scheduler/batch_charge_fallbacks")
         self._token_seq = 0
 
     def next_token(self) -> Tuple[int, int]:
@@ -83,6 +92,7 @@ class RpcClient:
         callbacks: Optional[List[Tuple[str, Sequence[Any]]]] = None,
         token: Optional[Tuple[int, int]] = None,
         trace_parent=None,
+        fused: bool = False,
     ) -> RPCFuture:
         """Fire-and-return: asynchronous invocation of ``op`` on ``dst_node``.
 
@@ -98,6 +108,12 @@ class RpcClient:
         ``trace_parent`` (a :class:`~repro.obs.span.Span`) makes the traced
         invocation a child of an enclosing span (e.g. the coalescer's
         buffer span); ignored when tracing is off.
+
+        ``fused`` requests batch-charged transport: on the fair-weather
+        path the SEND and the response RDMA_READ each try the closed-form
+        fused charge (:meth:`~repro.fabric.verbs.QueuePair.try_send_fused`)
+        and fall back to per-packet simulation whenever the contention
+        guard declines.  Containers set it for coalescer flush batches.
         """
         server = self.servers.get(dst_node)
         if server is None:
@@ -124,7 +140,7 @@ class RpcClient:
             )
         self.invocations.add(1)
         self.sim.process(
-            self._protocol(dst_node, server, req, size, completion, fut),
+            self._protocol(dst_node, server, req, size, completion, fut, fused),
             name=f"rpc-{op}-{self.src_node}->{dst_node}",
         )
         return fut
@@ -138,10 +154,11 @@ class RpcClient:
         callbacks: Optional[List[Tuple[str, Sequence[Any]]]] = None,
         token: Optional[Tuple[int, int]] = None,
         trace_parent=None,
+        fused: bool = False,
     ):
         """Generator: synchronous invoke — yields until the result arrives."""
         fut = self.invoke(dst_node, op, args, payload_size, callbacks, token,
-                          trace_parent)
+                          trace_parent, fused)
         yield fut.wait()
         return fut.result
 
@@ -155,7 +172,8 @@ class RpcClient:
         return [self.invoke(t, op, args_of(t)) for t in targets]
 
     # -- the wire protocol ---------------------------------------------------
-    def _protocol(self, dst_node, server, req, size, completion, fut):
+    def _protocol(self, dst_node, server, req, size, completion, fut,
+                  fused=False):
         # Tracing is pure observation: ``mark`` captures ``sim.now`` at each
         # stage boundary and the spans are recorded after the fact, so the
         # yielded event sequence is identical with tracing on or off.
@@ -178,7 +196,21 @@ class RpcClient:
                 # no timers, no retransmission — bit-identical to the
                 # pre-chaos stub.
                 # 1-2. RDMA_SEND into the request buffer / NIC work queue.
-                yield from self.qp.send(dst_node, req, size)
+                fused_send = (
+                    self.qp.try_send_fused(dst_node, req, size)
+                    if fused else None
+                )
+                if fused_send is not None:
+                    self.fused_hits.add(1)
+                    send_done, msg = fused_send
+                    yield send_done
+                    nic = target.nic
+                    if not nic.recv_queue.try_put(msg):
+                        yield nic.recv_queue.put(msg)
+                else:
+                    if fused:
+                        self.fused_fallbacks.add(1)
+                    yield from self.qp.send(dst_node, req, size)
                 if tracer is not None:
                     # The client resumes before the server worker does, so
                     # ``sent`` lands on the envelope ahead of execution.
@@ -191,10 +223,24 @@ class RpcClient:
                     mark = tracer.record("server.wait", mark, self.sim.now,
                                          parent=trace, node=node).end
                 # 7. client pull: RDMA_READ from the response buffer.
-                envelope = yield from self.qp.rdma_read(
-                    dst_node, RpcServer.RESPONSE_REGION, req.slot,
-                    response_size,
+                fused_read = (
+                    self.qp.try_rdma_read_fused(
+                        dst_node, RpcServer.RESPONSE_REGION, req.slot,
+                        response_size,
+                    )
+                    if fused else None
                 )
+                if fused_read is not None:
+                    self.fused_hits.add(1)
+                    read_done, envelope = fused_read
+                    yield read_done
+                else:
+                    if fused:
+                        self.fused_fallbacks.add(1)
+                    envelope = yield from self.qp.rdma_read(
+                        dst_node, RpcServer.RESPONSE_REGION, req.slot,
+                        response_size,
+                    )
             else:
                 if req.token is None:
                     req.token = self.next_token()

@@ -68,6 +68,12 @@ class _Buffer:
 class OpCoalescer:
     """Write-combines container ops into per-destination batch flushes."""
 
+    __slots__ = (
+        "container", "sim", "max_ops", "max_bytes", "_buffers", "_inflight",
+        "flushes", "flushed_ops", "flushed_bytes", "threshold_flushes",
+        "sync_flushes",
+    )
+
     def __init__(self, container, max_ops: int,
                  max_bytes: int = DEFAULT_MAX_BYTES):
         if max_ops < 1:
@@ -239,6 +245,9 @@ MISS = _Miss()
 
 class ReadCache:
     """Epoch-validated per-caller-node cache for keyed read results."""
+
+    __slots__ = ("_entries", "_observed", "hits", "misses",
+                 "invalidations", "stale_drops")
 
     def __init__(self, sim, name: str):
         #: (node_id, part_index) -> {key: (result, epoch)}

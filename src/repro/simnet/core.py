@@ -11,9 +11,22 @@ many simulated events the kernel can retire per wall-clock second:
   non-decreasing in schedule order.  Those ride a *near-future lane*: an
   append-only deque that stays sorted by construction, giving O(1) push and
   pop.  Anything that would break the lane's ordering invariant (an earlier
-  fire time, an out-of-band priority) falls back to the classic binary
-  heap.  Pops merge the two lanes by comparing their heads, so the global
+  fire time, an out-of-band priority) falls back to the *far lane*.  Pops
+  merge the two lanes by comparing their heads, so the global
   ``(time, priority, seq)`` order is *identical* to a single-heap kernel.
+* **A configurable far lane.**  ``Simulator(scheduler="calendar")`` (the
+  default) backs the far lane with a :class:`_CalendarQueue` — O(1) amortized
+  push into time-indexed buckets, with an adaptive bucket width — which beats
+  the binary heap once app workloads put thousands of out-of-order entries in
+  flight.  ``scheduler="heap"`` retains the classic ``heapq`` far lane; both
+  retire events in exactly the same ``(time, priority, seq)`` order, and the
+  tier-1 suite asserts trace equivalence between them on every run.
+* **An inlined waiter slot.**  The overwhelmingly common wait shape is one
+  process blocked on one event.  That single waiter lives in the event's
+  ``_wait`` slot instead of the callbacks list, and the drain loop resumes
+  it in place — no callback-list append/iterate/clear and no ``_resume``
+  frame per retired event.  Multiple waiters overflow to ``callbacks`` in
+  registration order, so firing order is unchanged.
 * **Event pooling.**  ``Timeout`` and plain ``Event`` objects are recycled
   through per-simulator free lists once processed, *iff* the kernel can
   prove nothing else references them (a CPython refcount check) — so hot
@@ -35,6 +48,7 @@ import sys
 from typing import Any, Callable, Iterable, Optional
 
 from collections import deque
+from functools import partial as _partial
 
 __all__ = [
     "Event",
@@ -86,7 +100,7 @@ class Event:
     registration order.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_wait")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -94,6 +108,9 @@ class Event:
         self._value: Any = None
         self._ok: bool = True
         self._state = _PENDING
+        # Fast-path waiter slot: the first Process to wait on this event
+        # parks here instead of in ``callbacks`` (see module docstring).
+        self._wait = None
 
     # -- state inspection ---------------------------------------------------
     @property
@@ -132,7 +149,7 @@ class Event:
         if not lane or t > lane[-1][0] or (t == lane[-1][0] and lane[-1][1] <= 0):
             lane.append((t, 0, seq, self))
         else:
-            heapq.heappush(sim._heap, (t, 0, seq, self))
+            sim._far_push((t, 0, seq, self))
         return self
 
     def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
@@ -150,9 +167,16 @@ class Event:
     # -- kernel hooks ---------------------------------------------------------
     def _process(self) -> None:
         self._state = _PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for cb in callbacks:
-            cb(self)
+        w = self._wait
+        if w is not None:
+            # The slot waiter registered before any callback, so it fires
+            # first — identical to the list order it replaces.
+            self._wait = None
+            w._resume(self)
+        if self.callbacks:
+            callbacks, self.callbacks = self.callbacks, []
+            for cb in callbacks:
+                cb(self)
 
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         """Register ``cb`` to run when this event is processed.
@@ -194,6 +218,10 @@ class Timeout(Event):
         # we are _PROCESSED — iterating without swapping the list is safe
         # and lets a recycled timeout reuse its callbacks list allocation.
         self._state = _PROCESSED
+        w = self._wait
+        if w is not None:
+            self._wait = None
+            w._resume(self)
         callbacks = self.callbacks
         if callbacks:
             for cb in callbacks:
@@ -300,6 +328,150 @@ class AnyOf(Event):
                     pass
 
 
+#: entries at or past this sim time share one top bucket, so ``inf``
+#: deadlines never overflow the bucket-index arithmetic
+_T_CAP = 1e15
+
+
+class _CalendarQueue:
+    """Calendar-queue far lane: total order over ``(time, priority, seq)``.
+
+    Entries within one bucket width of the active *epoch* live in
+    ``current``, a descending-sorted list (min at the end → O(1) pop, and
+    near-min inserts — the common far-push shape — touch the tail).
+    Later entries are appended unsorted to time-indexed buckets
+    (``int(t // width)``); when ``current`` drains, the earliest bucket is
+    popped, sorted once, and becomes the new epoch.  The epoch boundary
+    (``horizon``) only matters for routing pushes: anything earlier is
+    insorted into ``current``, so the pop order is *exactly* the heap's
+    ``(time, priority, seq)`` order (seqs are unique, so ties never reach
+    the event object).
+
+    The bucket width adapts at refill time: an oversized bucket halves the
+    width, a string of near-empty buckets doubles it, keeping refill sorts
+    O(1)-amortized per entry for both dense and sparse event mixes.
+    """
+
+    __slots__ = ("width", "horizon", "current", "buckets", "_bucket_heap",
+                 "future_count", "refills", "resizes", "max_bucket")
+
+    _REFILL_HI = 512   # refilled bucket larger than this -> halve the width
+    _REFILL_LO = 2     # this small (while many buckets remain) -> double it
+    _MIN_WIDTH = 1e-9  # never shrink below a nanosecond of sim time
+
+    def __init__(self, width: float = 64e-6):
+        self.width = width
+        self.horizon = float("-inf")
+        self.current: list[tuple] = []  # descending; min at the end
+        self.buckets: dict[int, list[tuple]] = {}
+        self._bucket_heap: list[int] = []
+        self.future_count = 0  # entries parked in buckets (excludes current)
+        self.refills = 0
+        self.resizes = 0
+        self.max_bucket = 0
+
+    def __len__(self) -> int:
+        return len(self.current) + self.future_count
+
+    def push(self, entry: tuple) -> None:
+        t = entry[0]
+        if t < self.horizon:
+            # Active epoch: descending insort.  Tail check first — most
+            # far pushes are *earlier* than everything already queued.
+            cur = self.current
+            if not cur or entry < cur[-1]:
+                cur.append(entry)
+                return
+            lo, hi = 0, len(cur)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if entry < cur[mid]:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            cur.insert(lo, entry)
+        else:
+            width = self.width
+            b = int(t // width) if t < _T_CAP else int(_T_CAP // width) + 1
+            lst = self.buckets.get(b)
+            if lst is None:
+                self.buckets[b] = [entry]
+                heapq.heappush(self._bucket_heap, b)
+            else:
+                lst.append(entry)
+            self.future_count += 1
+
+    def peek(self) -> Optional[tuple]:
+        cur = self.current
+        if not cur:
+            if not self.future_count:
+                return None
+            self._refill()
+            cur = self.current
+        return cur[-1]
+
+    def pop(self) -> tuple:
+        cur = self.current
+        if not cur:
+            self._refill()
+            cur = self.current
+        return cur.pop()
+
+    def _refill(self) -> None:
+        """Promote the earliest bucket to the new epoch (``current``).
+
+        ``current``'s list identity is preserved (filled in place) so the
+        drain loop can cache a reference to it across refills.
+        """
+        b = heapq.heappop(self._bucket_heap)
+        entries = self.buckets.pop(b)
+        n = len(entries)
+        self.future_count -= n
+        if n > self.max_bucket:
+            self.max_bucket = n
+        entries.sort(reverse=True)
+        self.current[:] = entries
+        self.horizon = (b + 1) * self.width
+        self.refills += 1
+        if n > self._REFILL_HI and self.width > self._MIN_WIDTH:
+            self._rebucket(self.width * 0.5)
+        elif n <= self._REFILL_LO and len(self.buckets) > 8:
+            self._rebucket(self.width * 2.0)
+
+    def _rebucket(self, new_width: float) -> None:
+        self.width = new_width
+        entries: list[tuple] = []
+        for lst in self.buckets.values():
+            entries.extend(lst)
+        self.buckets.clear()
+        self._bucket_heap.clear()
+        buckets = self.buckets
+        bucket_heap = self._bucket_heap
+        for e in entries:
+            t = e[0]
+            b = int(t // new_width) if t < _T_CAP else int(_T_CAP // new_width) + 1
+            lst = buckets.get(b)
+            if lst is None:
+                buckets[b] = [e]
+                heapq.heappush(bucket_heap, b)
+            else:
+                lst.append(e)
+        self.resizes += 1
+
+    def stats(self) -> dict:
+        occupied = len(self.buckets)
+        return {
+            "width": self.width,
+            "buckets": occupied,
+            "bucket_occupancy": (
+                self.future_count / occupied if occupied else 0.0
+            ),
+            "max_bucket": self.max_bucket,
+            "refills": self.refills,
+            "resizes": self.resizes,
+        }
+
+
 class Simulator:
     """The event loop.
 
@@ -311,10 +483,26 @@ class Simulator:
 
     ``run`` executes events until both lanes are empty or ``until`` is
     reached.  ``pooling=False`` disables event recycling (debug aid).
+    ``scheduler`` picks the far-lane implementation: ``"calendar"`` (the
+    default :class:`_CalendarQueue`) or ``"heap"`` (classic ``heapq``);
+    both retire events in identical ``(time, priority, seq)`` order.
     """
 
-    def __init__(self, pooling: bool = True):
+    def __init__(self, pooling: bool = True, scheduler: str = "calendar"):
+        if scheduler not in ("calendar", "heap"):
+            raise ValueError(
+                f"scheduler must be 'calendar' or 'heap', got {scheduler!r}")
+        self.scheduler = scheduler
         self._heap: list[tuple[float, int, int, Any]] = []
+        self._cal: Optional[_CalendarQueue] = (
+            _CalendarQueue() if scheduler == "calendar" else None
+        )
+        # All far pushes funnel through this bound callable so the five
+        # inlined hot paths stay scheduler-agnostic.
+        if self._cal is not None:
+            self._far_push = self._cal.push
+        else:
+            self._far_push = _partial(heapq.heappush, self._heap)
         # Near-future lane: entries appended here are non-decreasing in
         # (time, priority), so the deque is sorted by construction.
         self._lane: deque[tuple[float, int, int, Any]] = deque()
@@ -350,6 +538,7 @@ class Simulator:
             to._value = value
             to._ok = True
             to._state = _TRIGGERED
+            to._wait = None
         # Inlined _push (hot path).
         self._seq = seq = self._seq + 1
         t = self.now + delay
@@ -359,7 +548,7 @@ class Simulator:
             if t > tail[0] or (t == tail[0] and tail[1] <= 0):
                 lane.append((t, 0, seq, to))
             else:
-                heapq.heappush(self._heap, (t, 0, seq, to))
+                self._far_push((t, 0, seq, to))
         else:
             lane.append((t, 0, seq, to))
         return to
@@ -386,13 +575,14 @@ class Simulator:
             to._value = value
             to._ok = True
             to._state = _TRIGGERED
+            to._wait = None
         self._seq = seq = self._seq + 1
         lane = self._lane
         if not lane or when > lane[-1][0] or (
                 when == lane[-1][0] and lane[-1][1] <= 0):
             lane.append((when, 0, seq, to))
         else:
-            heapq.heappush(self._heap, (when, 0, seq, to))
+            self._far_push((when, 0, seq, to))
         return to
 
     def schedule_callback(self, fn: Callable[[], None], delay: float = 0.0,
@@ -417,7 +607,32 @@ class Simulator:
                 t == lane[-1][0] and lane[-1][1] <= priority):
             lane.append((t, priority, seq, entry))
         else:
-            heapq.heappush(self._heap, (t, priority, seq, entry))
+            self._far_push((t, priority, seq, entry))
+
+    def schedule_callback_at(self, fn: Callable[[], None], when: float,
+                             priority: int = 0) -> None:
+        """Run bare ``fn()`` at *absolute* sim time ``when``.
+
+        The ``timeout_at`` of callbacks: fused fabric charges use it to
+        schedule resource releases at exactly the floating-point timestamp
+        the per-packet path would have produced.
+        """
+        if when < self.now:
+            raise ValueError(
+                f"schedule_callback_at {when} is in the past (now={self.now})")
+        pool = self._cb_pool
+        if pool:
+            entry = pool.pop()
+            entry.fn = fn
+        else:
+            entry = _ScheduledCallback(fn)
+        self._seq = seq = self._seq + 1
+        lane = self._lane
+        if not lane or when > lane[-1][0] or (
+                when == lane[-1][0] and lane[-1][1] <= priority):
+            lane.append((when, priority, seq, entry))
+        else:
+            self._far_push((when, priority, seq, entry))
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -446,17 +661,29 @@ class Simulator:
                 t == lane[-1][0] and lane[-1][1] <= priority):
             lane.append((t, priority, seq, event))
         else:
-            heapq.heappush(self._heap, (t, priority, seq, event))
+            self._far_push((t, priority, seq, event))
+
+    def _far_len(self) -> int:
+        cal = self._cal
+        return len(cal) if cal is not None else len(self._heap)
 
     # -- execution ------------------------------------------------------------
     def step(self) -> None:
         """Process the single next event."""
-        heap = self._heap
         lane = self._lane
-        if lane and (not heap or lane[0] < heap[0]):
-            t, _prio, _seq, event = lane.popleft()
+        cal = self._cal
+        if cal is None:
+            heap = self._heap
+            if lane and (not heap or lane[0] < heap[0]):
+                t, _prio, _seq, event = lane.popleft()
+            else:
+                t, _prio, _seq, event = heapq.heappop(heap)
         else:
-            t, _prio, _seq, event = heapq.heappop(heap)
+            far = cal.peek()
+            if lane and (far is None or lane[0] < far):
+                t, _prio, _seq, event = lane.popleft()
+            else:
+                t, _prio, _seq, event = cal.pop()
         if t < self.now:  # pragma: no cover - defensive
             raise SimulationError("time went backwards")
         self.now = t
@@ -478,7 +705,8 @@ class Simulator:
             if len(self._cb_pool) < _POOL_CAP:
                 self._cb_pool.append(event)
         elif cls is Timeout:
-            if (not event.callbacks and _getrefcount(event) == 3
+            if (not event.callbacks and event._wait is None
+                    and _getrefcount(event) == 3
                     and len(self._timeout_pool) < _POOL_CAP):
                 event._state = _PENDING
                 event._value = None
@@ -486,7 +714,8 @@ class Simulator:
                 self._timeout_pool.append(event)
                 self._recycled += 1
         elif cls is Event:
-            if (not event.callbacks and _getrefcount(event) == 3
+            if (not event.callbacks and event._wait is None
+                    and _getrefcount(event) == 3
                     and len(self._event_pool) < _POOL_CAP):
                 event._state = _PENDING
                 event._value = None
@@ -496,22 +725,50 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        heap = self._heap
         lane = self._lane
+        cal = self._cal
+        if cal is None:
+            heap = self._heap
+            if lane:
+                if heap and heap[0][0] < lane[0][0]:
+                    return heap[0][0]
+                return lane[0][0]
+            return heap[0][0] if heap else float("inf")
+        far = cal.peek()
         if lane:
-            if heap and heap[0][0] < lane[0][0]:
-                return heap[0][0]
+            if far is not None and far[0] < lane[0][0]:
+                return far[0]
             return lane[0][0]
-        return heap[0][0] if heap else float("inf")
+        return far[0] if far is not None else float("inf")
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until both lanes drain or sim-time passes ``until``."""
         if until is not None:
-            while (self._lane or self._heap) and self.peek() <= until:
+            while (self._lane or self._far_len()) and self.peek() <= until:
                 self.step()
             if self.now < until:
                 self.now = until
             return
+        if self._cal is not None:
+            self._run_calendar()
+        else:
+            self._run_heap()
+
+    # The two drain loops below are fully inlined, with per-class dispatch
+    # for the dominant entry kinds: at paper scale they retire millions of
+    # events, and every avoided frame counts.  They differ ONLY in how the
+    # far lane's head is popped/merged — keep the dispatch bodies in sync.
+    #
+    # Timeout dispatch also inlines the single-waiter resume: the waiting
+    # process parked in ``event._wait`` is stepped right here (generator
+    # send + re-registration) instead of through Process._resume — saving a
+    # callback-list append/iterate/clear and one frame per retired event.
+    # Semantics are identical: the slot waiter is always the earliest
+    # registrant, the ``_waiting_on is event`` tombstone guard still drops
+    # interrupted waits, and a StopIteration/exception settles the process
+    # exactly as Process._resume would.
+
+    def _run_heap(self) -> None:
         heap = self._heap
         lane = self._lane
         popleft = lane.popleft
@@ -528,9 +785,6 @@ class Simulator:
         # Event-count is accumulated locally and flushed on exit (including
         # re-entrant runs: each loop flushes only the events it popped).
         count = 0
-        # The drain loop is fully inlined, with per-class dispatch for the
-        # two dominant entry kinds: at paper scale it retires millions of
-        # events, and every avoided frame counts.
         try:
             while lane or heap:
                 if lane and (not heap or lane[0] < heap[0]):
@@ -543,6 +797,34 @@ class Simulator:
                 if cls is timeout_cls:
                     # Inlined Timeout._process.
                     event._state = processed
+                    w = event._wait
+                    if w is not None:
+                        event._wait = None
+                        if w._waiting_on is event:
+                            w._waiting_on = None
+                            try:
+                                target = w._send(event._value)
+                            except StopIteration as stop:
+                                w.succeed(stop.value)
+                            except BaseException as err:
+                                w.fail(err)
+                            else:
+                                if isinstance(target, event_cls):
+                                    if target._state != processed:
+                                        w._waiting_on = target
+                                        if (target._wait is None
+                                                and not target.callbacks):
+                                            target._wait = w
+                                        else:
+                                            target.callbacks.append(
+                                                w._resume_cb)
+                                    else:
+                                        w._kick(target)
+                                else:
+                                    w._reject_yield(target)
+                                # Drop our ref so the pooling refcount
+                                # proof holds when `target` is popped.
+                                target = None
                     callbacks = event.callbacks
                     if callbacks:
                         for cb in callbacks:
@@ -550,7 +832,8 @@ class Simulator:
                         callbacks.clear()
                     # refcount 2 == our local + getrefcount's argument:
                     # nothing else can observe this event again.
-                    if (pooling and not callbacks and getrefcount(event) == 2
+                    if (pooling and not callbacks and event._wait is None
+                            and getrefcount(event) == 2
                             and len(timeout_pool) < _POOL_CAP):
                         event._state = 0
                         event._value = None
@@ -566,6 +849,111 @@ class Simulator:
                 else:
                     event._process()
                     if (pooling and cls is event_cls and not event.callbacks
+                            and event._wait is None
+                            and getrefcount(event) == 2
+                            and len(event_pool) < _POOL_CAP):
+                        event._state = 0
+                        event._value = None
+                        event._ok = True
+                        event_pool.append(event)
+                        self._recycled += 1
+        finally:
+            self._event_count += count
+
+    def _run_calendar(self) -> None:
+        cal = self._cal
+        cur = cal.current  # identity-stable: _refill assigns in place
+        lane = self._lane
+        popleft = lane.popleft
+        pooling = self._pooling
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        cb_pool = self._cb_pool
+        getrefcount = _getrefcount
+        timeout_cls = Timeout
+        cb_cls = _ScheduledCallback
+        event_cls = Event
+        processed = _PROCESSED
+        count = 0
+        try:
+            while True:
+                if lane:
+                    if cur:
+                        if lane[0] < cur[-1]:
+                            t, _prio, _seq, event = popleft()
+                        else:
+                            t, _prio, _seq, event = cur.pop()
+                    elif cal.future_count:
+                        cal._refill()
+                        continue
+                    else:
+                        t, _prio, _seq, event = popleft()
+                elif cur:
+                    t, _prio, _seq, event = cur.pop()
+                elif cal.future_count:
+                    cal._refill()
+                    continue
+                else:
+                    break
+                self.now = t
+                count += 1
+                cls = event.__class__
+                if cls is timeout_cls:
+                    # Inlined Timeout._process.
+                    event._state = processed
+                    w = event._wait
+                    if w is not None:
+                        event._wait = None
+                        if w._waiting_on is event:
+                            w._waiting_on = None
+                            try:
+                                target = w._send(event._value)
+                            except StopIteration as stop:
+                                w.succeed(stop.value)
+                            except BaseException as err:
+                                w.fail(err)
+                            else:
+                                if isinstance(target, event_cls):
+                                    if target._state != processed:
+                                        w._waiting_on = target
+                                        if (target._wait is None
+                                                and not target.callbacks):
+                                            target._wait = w
+                                        else:
+                                            target.callbacks.append(
+                                                w._resume_cb)
+                                    else:
+                                        w._kick(target)
+                                else:
+                                    w._reject_yield(target)
+                                # Drop our ref so the pooling refcount
+                                # proof holds when `target` is popped.
+                                target = None
+                    callbacks = event.callbacks
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(event)
+                        callbacks.clear()
+                    # refcount 2 == our local + getrefcount's argument:
+                    # nothing else can observe this event again.
+                    if (pooling and not callbacks and event._wait is None
+                            and getrefcount(event) == 2
+                            and len(timeout_pool) < _POOL_CAP):
+                        event._state = 0
+                        event._value = None
+                        event._ok = True
+                        timeout_pool.append(event)
+                        self._recycled += 1
+                elif cls is cb_cls:
+                    # Inlined _ScheduledCallback._process + recycle.
+                    event.fn()
+                    if pooling and len(cb_pool) < _POOL_CAP:
+                        event.fn = None
+                        cb_pool.append(event)
+                else:
+                    event._process()
+                    if (pooling and cls is event_cls and not event.callbacks
+                            and event._wait is None
                             and getrefcount(event) == 2
                             and len(event_pool) < _POOL_CAP):
                         event._state = 0
@@ -595,7 +983,7 @@ class Simulator:
 
     def kernel_stats(self) -> dict:
         """Observability snapshot of the kernel fast paths."""
-        return {
+        stats = {
             "events_processed": self._event_count,
             "events_recycled": self._recycled,
             "timeout_pool": len(self._timeout_pool),
@@ -603,5 +991,10 @@ class Simulator:
             "callback_pool": len(self._cb_pool),
             "lane_depth": len(self._lane),
             "heap_depth": len(self._heap),
+            "far_depth": self._far_len(),
+            "scheduler": self.scheduler,
             "pooling": self._pooling,
         }
+        if self._cal is not None:
+            stats["calendar"] = self._cal.stats()
+        return stats

@@ -119,7 +119,12 @@ class Process(Event):
         if isinstance(target, Event):
             if target._state != _PROCESSED:
                 self._waiting_on = target
-                target.callbacks.append(self._resume_cb)
+                # First waiter rides the event's fast slot; later waiters
+                # overflow to the callbacks list (registration order kept).
+                if target._wait is None and not target.callbacks:
+                    target._wait = self
+                else:
+                    target.callbacks.append(self._resume_cb)
             else:
                 self._kick(target)
         else:
@@ -141,7 +146,10 @@ class Process(Event):
         if isinstance(target, Event):
             if target._state != _PROCESSED:
                 self._waiting_on = target
-                target.callbacks.append(self._resume_cb)
+                if target._wait is None and not target.callbacks:
+                    target._wait = self
+                else:
+                    target.callbacks.append(self._resume_cb)
             else:
                 self._kick(target)
         else:

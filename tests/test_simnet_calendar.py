@@ -1,0 +1,260 @@
+"""Calendar-queue far-lane edge cases and heap-equivalence.
+
+The calendar queue replaces the binary heap for far-future events behind
+``Simulator(scheduler=...)``.  Its one contract: retire events in exactly
+the order the heap would — same timestamps, same priority handling, same
+FIFO tiebreak on the creation sequence — so every simulated result is
+bit-identical across schedulers.  These tests pin the edges where a
+bucketed structure could drift from a heap: same-timestamp bursts,
+tombstoned (interrupted) entries inside buckets, AnyOf/AllOf settle
+order, bucket-width resizes under skewed spacing, and a seeded randomized
+full-trace equivalence that is independent of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simnet.core import Interrupt, Simulator
+
+SCHEDULERS = ("heap", "calendar")
+
+
+def _far(sim, delay, value=None):
+    """Schedule a timeout that lands in the FAR lane (not the near deque).
+
+    The near lane only takes monotone appends; scheduling a later anchor
+    first forces the earlier timeout into the far structure under test.
+    """
+    anchor = sim.timeout(delay + 1000.0)
+    to = sim.timeout(delay, value=value)
+    assert anchor is not to
+    return to
+
+
+class TestSameTimestampStability:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_equal_far_timestamps_fire_in_creation_order(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+
+        def waiter(i, to):
+            yield to
+            fired.append(i)
+
+        # A far anchor first, then 50 identical-time timeouts that all
+        # land in one calendar bucket (or one heap run of equal keys).
+        sim.timeout(2000.0)
+        for i in range(50):
+            sim.process(waiter(i, sim.timeout(7.25)))
+        sim.run(until=100.0)
+        assert fired == list(range(50))
+
+    def test_equal_timestamps_match_across_schedulers(self):
+        traces = {}
+        for scheduler in SCHEDULERS:
+            sim = Simulator(scheduler=scheduler)
+            trace = []
+
+            def waiter(i, to, trace=trace):
+                got = yield to
+                trace.append((sim.now, i, got))
+
+            sim.timeout(5000.0)
+            for i in range(30):
+                # Three distinct times, ten waiters each, interleaved.
+                sim.process(waiter(i, sim.timeout(1.0 + (i % 3), value=i)))
+            sim.run(until=100.0)
+            traces[scheduler] = trace
+        assert traces["heap"] == traces["calendar"]
+
+
+class TestTombstonedEntries:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_interrupt_tombstones_far_lane_entry(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        log = []
+
+        def proc():
+            try:
+                yield _far(sim, 50.0, value="late")
+                log.append("value")
+            except Interrupt as intr:
+                log.append(("intr", intr.cause))
+                yield sim.timeout(0.5)
+                log.append(("after", sim.now))
+
+        p = sim.process(proc())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            p.interrupt("go")
+
+        sim.process(interrupter())
+        sim.run(until=2000.0)
+        # The tombstoned t=50 wakeup inside the far structure must be
+        # skipped silently when its bucket drains.
+        assert log == [("intr", "go"), ("after", 1.5)]
+        assert p.done
+
+    def test_bucket_of_tombstones_drains_cleanly(self):
+        for scheduler in SCHEDULERS:
+            sim = Simulator(scheduler=scheduler)
+            survivors = []
+
+            def waiter(i, to):
+                try:
+                    yield to
+                    survivors.append((sim.now, i))
+                except Interrupt:
+                    pass
+
+            sim.timeout(5000.0)
+            procs = [sim.process(waiter(i, sim.timeout(10.0)))
+                     for i in range(20)]
+
+            def killer():
+                yield sim.timeout(1.0)
+                for i in range(0, 20, 2):
+                    procs[i].interrupt()
+
+            sim.process(killer())
+            sim.run(until=100.0)
+            assert survivors == [(10.0, i) for i in range(1, 20, 2)]
+
+
+class TestCombinatorSettleOrder:
+    def test_any_of_far_children_settle_identically(self):
+        results = {}
+        for scheduler in SCHEDULERS:
+            sim = Simulator(scheduler=scheduler)
+            got = []
+
+            def proc():
+                fast = _far(sim, 3.0, value="fast")
+                slow = _far(sim, 30.0, value="slow")
+                got.append((yield sim.any_of([fast, slow])))
+                got.append(sim.now)
+
+            sim.run_process(proc())
+            results[scheduler] = got
+        assert results["heap"] == results["calendar"]
+        assert results["heap"][0] == (0, "fast")
+
+    def test_all_of_collects_in_listed_order_across_buckets(self):
+        results = {}
+        for scheduler in SCHEDULERS:
+            sim = Simulator(scheduler=scheduler)
+            got = []
+
+            def proc():
+                # Reverse-chronological listing, spread far apart so the
+                # children occupy different calendar buckets.
+                late = _far(sim, 40.0, value="late")
+                mid = _far(sim, 2.0, value="mid")
+                early = _far(sim, 0.5, value="early")
+                got.append((yield sim.all_of([late, mid, early])))
+                got.append(sim.now)
+
+            sim.run_process(proc())
+            results[scheduler] = got
+        assert results["heap"] == results["calendar"]
+        # AllOf value order follows the listed order, not firing order.
+        assert results["heap"][0] == ["late", "mid", "early"]
+
+
+class TestAdaptiveWidth:
+    def test_skewed_spacing_forces_resizes_and_stays_ordered(self):
+        sim = Simulator(scheduler="calendar")
+        fired = []
+
+        def waiter(i, to):
+            yield to
+            fired.append((sim.now, i))
+
+        # Anchor far out so everything below routes through the calendar.
+        # Then both skew extremes: a sub-bucket-width clump of 600 events
+        # (refill sees > _REFILL_HI -> width halves) and a sparse tail of
+        # one event per bucket across 16 buckets (refills see <= _REFILL_LO
+        # with many buckets pending -> width doubles).
+        sim.timeout(1e6)
+        delays = [1000.0 + j * 1e-7 for j in range(600)]
+        delays.extend(2000.0 + k * 10.0 for k in range(16))
+        for i, d in enumerate(delays):
+            sim.process(waiter(i, sim.timeout(d)))
+        sim.run(until=1e5)
+        assert [i for _t, i in fired] == sorted(
+            range(len(delays)), key=lambda i: (delays[i], i)
+        )
+        cal = sim.kernel_stats()["calendar"]
+        assert cal["resizes"] >= 1, "adaptive width never engaged"
+        assert cal["refills"] >= 1
+
+    def test_kernel_stats_expose_scheduler(self):
+        for scheduler in SCHEDULERS:
+            sim = Simulator(scheduler=scheduler)
+            stats = sim.kernel_stats()
+            assert stats["scheduler"] == scheduler
+            assert ("calendar" in stats) == (scheduler == "calendar")
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(scheduler="fibheap")
+
+
+class TestRandomizedEquivalence:
+    """Seeded random workloads must produce identical full traces.
+
+    Everything observable is keyed on deterministic ints/floats and list
+    order — no set/dict iteration — so the assertion holds under any
+    ``PYTHONHASHSEED``.
+    """
+
+    @staticmethod
+    def _run_workload(scheduler: str, seed: int):
+        rng = random.Random(seed)
+        sim = Simulator(scheduler=scheduler)
+        trace = []
+
+        nprocs = 20
+        plans = [
+            [
+                (rng.choice(("short", "far", "cb", "at")),
+                 rng.uniform(1e-7, 1.0) * 10 ** rng.randint(0, 4))
+                for _ in range(rng.randint(5, 25))
+            ]
+            for _ in range(nprocs)
+        ]
+
+        def body(pid, plan):
+            for step, (kind, delay) in enumerate(plan):
+                if kind == "cb":
+                    sim.schedule_callback(
+                        lambda pid=pid, step=step:
+                            trace.append((sim.now, "cb", pid, step)),
+                        delay,
+                    )
+                elif kind == "at":
+                    yield sim.timeout_at(sim.now + delay)
+                    trace.append((sim.now, "at", pid, step))
+                else:
+                    yield sim.timeout(delay)
+                    trace.append((sim.now, kind, pid, step))
+            trace.append((sim.now, "done", pid, -1))
+
+        for pid, plan in enumerate(plans):
+            sim.process(body(pid, plan))
+        sim.run()
+        stats = sim.kernel_stats()
+        return trace, stats["events_processed"], sim.now
+
+    @pytest.mark.parametrize("seed", [1, 7, 1234])
+    def test_full_trace_identical_heap_vs_calendar(self, seed):
+        heap_trace, heap_events, heap_now = self._run_workload("heap", seed)
+        cal_trace, cal_events, cal_now = self._run_workload("calendar", seed)
+        assert heap_trace == cal_trace
+        assert heap_events == cal_events
+        assert heap_now == cal_now
+        assert len(heap_trace) > 100  # the workload actually ran

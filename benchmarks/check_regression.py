@@ -1,0 +1,172 @@
+"""Bench-regression gate: fresh BENCH_*.json vs the committed baselines.
+
+CI regenerates each bench artifact and compares it against the version
+committed in the tree, failing the job when a tracked metric regresses by
+more than ``--tolerance`` (default 15%):
+
+* ``kernel``  — ``events_per_sec`` (wall clock; higher is better).  Wall
+  throughput varies machine to machine, so the committed number (recorded
+  on the reference machine) is only comparable on similar hardware — CI
+  jobs on shared runners should pass a wider ``--tolerance``.
+* ``agg``     — per-app ``sim_speedup`` (simulated, deterministic), plus
+  every fresh row must still verify.  Runs are only comparable at the
+  same scale/topology; mismatches fail loudly rather than comparing
+  apples to oranges.
+* ``serving`` — per-config ``ops_per_sim_sec`` (higher is better) and
+  ``latency.p99`` (lower is better), plus the overload-cliff ``p99_ratio``
+  when both reports carry one.  All simulated and deterministic: on
+  identical code the fresh report is byte-identical to the baseline, so
+  any drift here is a real behavior change.
+
+Usage::
+
+    python benchmarks/check_regression.py --kind serving \
+        --fresh /tmp/BENCH_serving.json --baseline BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+__all__ = ["compare_kernel", "compare_agg", "compare_serving", "main"]
+
+DEFAULT_TOLERANCE = 0.15
+
+#: serving config fields that must match for two reports to be comparable
+_SERVING_CONFIG_KEYS = (
+    "nodes", "procs_per_node", "clients", "tenants", "theta",
+    "keys_per_tenant", "queue_frac", "queue_home", "rate_per_client",
+    "ops_per_client", "seed", "shed_retries", "rpc_batch_size",
+)
+
+
+def _worse(fresh: float, base: float, tolerance: float,
+           higher_is_better: bool = True) -> bool:
+    """True when ``fresh`` regresses past ``tolerance`` relative to ``base``."""
+    if base == 0:
+        return False
+    if higher_is_better:
+        return fresh < base * (1.0 - tolerance)
+    return fresh > base * (1.0 + tolerance)
+
+
+def _fmt(name: str, fresh: float, base: float) -> str:
+    delta = (fresh / base - 1.0) * 100 if base else float("inf")
+    return f"{name}: {fresh:.6g} vs baseline {base:.6g} ({delta:+.1f}%)"
+
+
+def compare_kernel(fresh: Dict, baseline: Dict,
+                   tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    failures: List[str] = []
+    f, b = fresh["events_per_sec"], baseline["events_per_sec"]
+    if _worse(f, b, tolerance):
+        failures.append(_fmt("kernel events_per_sec", f, b))
+    if fresh.get("events_processed") != baseline.get("events_processed"):
+        failures.append(
+            "kernel workload shape changed: events_processed "
+            f"{fresh.get('events_processed')} vs "
+            f"{baseline.get('events_processed')}"
+        )
+    return failures
+
+
+def compare_agg(fresh: Dict, baseline: Dict,
+                tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    failures: List[str] = []
+    for key in ("scale", "nodes", "procs_per_node"):
+        if fresh.get(key) != baseline.get(key):
+            failures.append(
+                f"agg runs not comparable: {key} {fresh.get(key)} vs "
+                f"{baseline.get(key)}"
+            )
+    if failures:
+        return failures
+    for row in fresh.get("rows", []):
+        if not row.get("verified", True):
+            failures.append(
+                f"agg row failed verification: {row['app']} "
+                f"aggregation={row['aggregation']}"
+            )
+    for app, base_entry in sorted(baseline["speedups"].items()):
+        fresh_entry = fresh["speedups"].get(app)
+        if fresh_entry is None:
+            failures.append(f"agg app {app!r} missing from fresh run")
+            continue
+        f, b = fresh_entry["sim_speedup"], base_entry["sim_speedup"]
+        if _worse(f, b, tolerance):
+            failures.append(_fmt(f"agg {app} sim_speedup", f, b))
+    return failures
+
+
+def compare_serving(fresh: Dict, baseline: Dict,
+                    tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    failures: List[str] = []
+    for key in _SERVING_CONFIG_KEYS:
+        if fresh.get(key) != baseline.get(key):
+            failures.append(
+                f"serving runs not comparable: {key} {fresh.get(key)} vs "
+                f"{baseline.get(key)}"
+            )
+    if failures:
+        return failures
+    base_cfgs = {c["queue_bound"]: c for c in baseline["configs"]}
+    fresh_cfgs = {c["queue_bound"]: c for c in fresh["configs"]}
+    if set(base_cfgs) != set(fresh_cfgs):
+        return [f"serving bounds differ: {sorted(map(str, fresh_cfgs))} vs "
+                f"{sorted(map(str, base_cfgs))}"]
+    for bound, base_cfg in sorted(base_cfgs.items(), key=lambda kv: str(kv[0])):
+        fresh_cfg = fresh_cfgs[bound]
+        label = "off" if bound is None else bound
+        f, b = fresh_cfg["ops_per_sim_sec"], base_cfg["ops_per_sim_sec"]
+        if _worse(f, b, tolerance):
+            failures.append(_fmt(f"serving[{label}] ops_per_sim_sec", f, b))
+        f, b = fresh_cfg["latency"]["p99"], base_cfg["latency"]["p99"]
+        if _worse(f, b, tolerance, higher_is_better=False):
+            failures.append(_fmt(f"serving[{label}] p99", f, b))
+    base_cliff = baseline.get("cliff")
+    fresh_cliff = fresh.get("cliff")
+    if base_cliff and fresh_cliff:
+        f, b = fresh_cliff["p99_ratio"], base_cliff["p99_ratio"]
+        if _worse(f, b, tolerance):
+            failures.append(_fmt("serving cliff p99_ratio", f, b))
+    return failures
+
+
+_COMPARATORS = {
+    "kernel": compare_kernel,
+    "agg": compare_agg,
+    "serving": compare_serving,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on >tolerance regressions vs a committed BENCH json"
+    )
+    parser.add_argument("--kind", choices=sorted(_COMPARATORS), required=True)
+    parser.add_argument("--fresh", required=True,
+                        help="freshly generated BENCH json")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline BENCH json")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional regression (default 0.15; "
+                             "widen for wall-clock metrics on noisy runners)")
+    args = parser.parse_args(argv)
+    with open(args.fresh, encoding="utf-8") as fh:
+        fresh = json.load(fh)
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    failures = _COMPARATORS[args.kind](fresh, baseline, args.tolerance)
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"{args.kind}: no regression beyond {args.tolerance:.0%} "
+              f"({args.fresh} vs {args.baseline})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -448,9 +448,50 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_serving(args) -> int:
+    from repro.harness.serving import (
+        check_serving, emit_serving_json, render_serving, run_serving,
+    )
+
+    report = run_serving(
+        nodes=args.nodes,
+        procs_per_node=args.procs,
+        clients=args.clients,
+        tenants=args.tenants,
+        theta=args.theta,
+        keys=args.keys,
+        mix=tuple(args.mix),
+        queue_frac=args.queue_frac,
+        queue_home=args.queue_home,
+        rate=args.rate,
+        ops_per_client=args.ops_per_client,
+        seed=args.seed,
+        bounds=[None if b.lower() in ("off", "none") else int(b)
+                for b in args.bounds],
+        shed_retries=args.shed_retries,
+        retry_backoff=args.retry_backoff,
+        rpc_batch_size=args.batch,
+    )
+    print(render_serving(report))
+    cliff = report.get("cliff")
+    if cliff:
+        print(f"  overload cliff: p99 {cliff['p99_shedding_off'] * 1e6:.0f}us "
+              f"unbounded vs {cliff['p99_shedding_on'] * 1e6:.0f}us shed "
+              f"({cliff['p99_ratio']:.2f}x)")
+    if args.emit:
+        print(f"wrote {emit_serving_json(report, args.emit)}")
+    if args.check or args.require_cliff:
+        failures = check_serving(report, require_cliff=args.require_cliff,
+                                 cliff_factor=args.cliff_factor)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
 def _cmd_list(args) -> int:
     print("commands: fig1 fig5 fig6 fig7 sweep microbench kernelbench "
-          "aggbench chaos-soak trace telemetry list")
+          "aggbench chaos-soak trace telemetry serving list")
     print("full asserted reproduction: pytest benchmarks/ --benchmark-only -s")
     return 0
 
@@ -652,6 +693,56 @@ def build_parser() -> argparse.ArgumentParser:
     pT.add_argument("--check", action="store_true",
                     help="exit 1 if any series is empty or a probe failed")
     pT.set_defaults(fn=_cmd_telemetry)
+
+    pS = sub.add_parser(
+        "serving",
+        help="Zipfian serving bench: SLO percentiles + backpressure A/B",
+    )
+    pS.add_argument("--nodes", type=int, default=64)
+    pS.add_argument("--procs", type=int, default=4,
+                    help="rank processes per node")
+    pS.add_argument("--clients", type=int, default=100_000,
+                    help="simulated open-loop clients (Poisson superposed)")
+    pS.add_argument("--tenants", type=int, default=8)
+    pS.add_argument("--theta", type=float, default=0.99,
+                    help="Zipf skew (0 = uniform)")
+    pS.add_argument("--keys", type=int, default=16_384,
+                    help="keys per tenant namespace")
+    pS.add_argument("--mix", nargs=3, type=float, default=[0.70, 0.20, 0.10],
+                    metavar=("READ", "WRITE", "RMW"),
+                    help="map-op mix fractions (must sum to 1)")
+    pS.add_argument("--queue-frac", type=float, default=0.10,
+                    help="fraction of ops hitting the tenant FIFO queues")
+    pS.add_argument("--queue-home", choices=["packed", "spread"],
+                    default="packed",
+                    help="tenant-queue placement: packed = all on node 0 "
+                         "(the serving hotspot), spread = round-robin")
+    pS.add_argument("--rate", type=float, default=100.0,
+                    help="per-client Poisson arrival rate (ops/s)")
+    pS.add_argument("--ops-per-client", type=float, default=1.0)
+    pS.add_argument("--seed", type=int, default=7)
+    pS.add_argument("--bounds", nargs="+", default=["off", "64"],
+                    metavar="BOUND",
+                    help="admission-control settings to A/B ('off' = "
+                         "unbounded; integers arm load shedding)")
+    pS.add_argument("--shed-retries", type=int, default=1,
+                    help="client retries per shed op (0 = surface the error)")
+    pS.add_argument("--retry-backoff", type=_positive_float, default=1e-3,
+                    help="base retry backoff in sim seconds (doubles per "
+                         "attempt)")
+    pS.add_argument("--batch", type=int, default=1,
+                    help="server request-aggregation batch size")
+    pS.add_argument("--emit", nargs="?", const="BENCH_serving.json",
+                    default=None, metavar="PATH",
+                    help="write the report (default BENCH_serving.json)")
+    pS.add_argument("--check", action="store_true",
+                    help="exit 1 on sanity failures (accounting, SLO keys, "
+                         "fairness, starved tenants)")
+    pS.add_argument("--require-cliff", action="store_true",
+                    help="also fail unless unbounded p99 >= cliff-factor x "
+                         "the bounded p99")
+    pS.add_argument("--cliff-factor", type=_positive_float, default=3.0)
+    pS.set_defaults(fn=_cmd_serving)
 
     pm = sub.add_parser("microbench", help="OSU-style fabric microbenchmarks")
     pm.add_argument("--provider", default="roce",

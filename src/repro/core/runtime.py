@@ -52,6 +52,7 @@ class HCL:
         spec_or_cluster: Union[ClusterSpec, Cluster],
         provider: str = "roce",
         rpc_batch_size: int = 1,
+        rpc_queue_bound: Optional[int] = None,
         persist_dir: Optional[str] = None,
         fault_plan=None,
         scheduler: str = "calendar",
@@ -65,8 +66,13 @@ class HCL:
             self.cluster.install_faults(fault_plan)
         self.sim = self.cluster.sim
         self.gas = GlobalAddressSpace()
+        # rpc_queue_bound arms admission control: each server sheds requests
+        # arriving at a full receive queue instead of queueing them forever
+        # (callers see a retriable ServerOverloaded).  None = classic
+        # unbounded queueing.
         self._servers: Dict[int, RpcServer] = {
-            node.node_id: RpcServer(node, batch_size=rpc_batch_size)
+            node.node_id: RpcServer(node, batch_size=rpc_batch_size,
+                                    queue_bound=rpc_queue_bound)
             for node in self.cluster.nodes
         }
         self._clients: Dict[int, RpcClient] = {}

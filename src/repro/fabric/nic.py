@@ -87,6 +87,12 @@ class Nic:
         self.cores = Resource(sim, capacity=cost.nic_cores, name=f"nic{node_id}/cores")
         # Receive work queue for two-sided SENDs (the RoR request buffer feed).
         self.recv_queue = Store(sim, name=f"nic{node_id}/recv")
+        #: admission-control hook for inbound SENDs: ``hook(msg) -> bool``.
+        #: ``None`` (the default) admits everything.  When a hook returns
+        #: False the message must NOT be enqueued — the hook has already
+        #: disposed of it (e.g. deposited a load-shed rejection envelope).
+        #: Installed by ``RpcServer(queue_bound=...)``.
+        self.admission = None
         self.regions: Dict[str, MemoryRegion] = {}
         metrics = registry_of(sim)
         self.verbs_processed = metrics.counter(f"nic{node_id}/verbs")
@@ -108,6 +114,16 @@ class Nic:
             return self.regions[name]
         except KeyError:
             raise KeyError(f"no region {name!r} on node {self.node_id}") from None
+
+    def admit(self, msg) -> bool:
+        """Consult the admission hook for a delivered SEND.
+
+        Callers enqueue onto :attr:`recv_queue` only when this returns
+        True; a False means the hook shed the message (and has already
+        produced whatever rejection response the protocol requires).
+        """
+        gate = self.admission
+        return True if gate is None else gate(msg)
 
     def drop_pending(self) -> int:
         """Discard queued-but-unserved receive work (crash injection).

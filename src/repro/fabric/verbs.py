@@ -78,10 +78,13 @@ class QueuePair:
         yield from self._doorbell()
         yield from src_node.nic.serve_verb()
         yield from self._wire(dst, msg)
-        # Unbounded (or non-full) work queues accept the message without a
-        # scheduler round-trip; only a *full* bounded queue blocks the QP.
-        if not dst_node.nic.recv_queue.try_put(msg):
-            yield dst_node.nic.recv_queue.put(msg)
+        # Admission control: a bounded-RPC-queue target may shed the message
+        # here instead of accepting it (the hook deposits the rejection).
+        if dst_node.nic.admit(msg):
+            # Unbounded (or non-full) work queues accept the message without
+            # a scheduler round-trip; only a *full* bounded queue blocks the QP.
+            if not dst_node.nic.recv_queue.try_put(msg):
+                yield dst_node.nic.recv_queue.put(msg)
         return msg.msg_id
 
     def try_send_fused(self, dst: int, payload: Any, size: int):

@@ -14,7 +14,9 @@ Every table and figure bench in ``benchmarks/`` builds on this package:
 * :mod:`repro.harness.telemetry` — Fig-4-style time-series telemetry
   (NIC utilization, memory, packet rate) sampled over the app kernels;
 * :mod:`repro.harness.chaos` — seeded fault-plan soak with an
-  acked-write ledger and a registry-backed metrics report.
+  acked-write ledger and a registry-backed metrics report;
+* :mod:`repro.harness.serving` — Zipfian multi-tenant serving bench:
+  SLO percentiles, fairness, and the load-shedding overload A/B.
 """
 
 from repro.harness.workload import Blob, key_stream, WorkloadSpec
@@ -33,8 +35,22 @@ from repro.harness.telemetry import (
     emit_telemetry_json,
     run_telemetry,
 )
+from repro.harness.serving import (
+    DEFAULT_MIX,
+    ZipfKeyGenerator,
+    check_serving,
+    emit_serving_json,
+    render_serving,
+    run_serving,
+)
 
 __all__ = [
+    "DEFAULT_MIX",
+    "ZipfKeyGenerator",
+    "check_serving",
+    "emit_serving_json",
+    "render_serving",
+    "run_serving",
     "KernelBenchReport",
     "kernel_events_per_sec",
     "run_kernel_bench",

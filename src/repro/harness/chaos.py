@@ -26,7 +26,7 @@ from repro.core.hash_container import stable_hash
 from repro.core.runtime import HCL
 from repro.fabric.faults import PLAN_NAMES, make_plan
 from repro.fabric.topology import Cluster
-from repro.obs.registry import registry_of
+from repro.obs.registry import percentile_summary, registry_of
 
 __all__ = ["run_chaos_soak", "SOAK_PLANS"]
 
@@ -237,6 +237,11 @@ def run_chaos_soak(
             "exhausted": int(metrics.sum_matching("/exhausted", "rpcc")),
             "duplicates_suppressed": int(
                 metrics.sum_matching("/dups_suppressed", "rpc")
+            ),
+            # Cluster-wide client latency distribution: the per-node
+            # rpcc*/latency fleet folded through the shared quantile path.
+            "latency": percentile_summary(
+                metrics.merged_histogram("/latency", "rpcc")
             ),
         },
         "failover": {

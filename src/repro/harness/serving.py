@@ -1,0 +1,462 @@
+"""YCSB-style serving harness: Zipfian multi-tenant load at paper scale.
+
+Every workload in this repo so far is an HPC kernel; this harness opens the
+*serving* scenario HCL's abstract claims (ROADMAP item 2) — distributed
+containers fronting 10^5-10^6 simulated clients.  A seeded Zipf(theta)
+key-popularity generator drives the hash map (reads / writes / server-side
+RMW upserts) and per-tenant FIFO queues under open-loop Poisson arrivals,
+and the report extracts serving SLOs straight from the ``obs`` histogram
+machinery: p50/p95/p99/p99.9 latency, per-tenant fairness (Jain's index)
+and hot-key amplification.
+
+**Simulating a million clients.**  Spawning one process per client would
+melt the event core for nothing: the superposition of k independent
+Poisson(rate) arrival streams is one Poisson(k*rate) stream.  Each rank
+therefore runs ONE open-loop driver whose merged inter-arrival time is
+``Exponential(clients_per_rank * rate)``, attributing every arrival to a
+uniformly-drawn client (statistically identical to independent clients,
+exactly reproducible from the seed).  Ops are issued through the
+containers' ``*_async`` futures — open-loop means arrivals never wait for
+completions, which is what exposes the overload latency cliff.
+
+**The hotspot.**  HCL queues are single-partitioned and live wherever the
+constructing process runs, so a popular shared queue service *is* a node
+hotspot: ``queue_home="packed"`` (the default) pins every tenant queue to
+node 0, concentrating ``queue_frac`` of all traffic there while the rest
+of the cluster keeps headroom.  Serving ops are issued singly
+(``rpc_batch_size=1`` — request aggregation is ``aggbench``'s subject),
+which makes per-request dispatch the hot node's dominant cost: overload
+accumulates in its *receive work queue* — exactly the queue admission
+control governs — rather than in the shared NIC-core pipeline.
+
+**Backpressure A/B.**  ``bounds`` runs the identical workload once per
+admission-control setting (``None`` = classic unbounded server queues; an
+integer arms ``RpcServer(queue_bound=...)`` load shedding).  Shed ops
+surface as ``serving/shed`` counters server-side and retriable
+:class:`~repro.rpc.future.ServerOverloaded` errors client-side; the
+harness retries them with exponential backoff up to ``shed_retries``
+times, so reported latency is the *client-visible* figure including
+retries.  The report's ``cliff`` block compares unbounded vs bounded p99:
+without shedding the hot node's backlog delay grows with the arrival
+window (the latency cliff); with it, p99 stays near the service floor and
+the cost surfaces as ``shed_gaveup`` errors instead.  Retries trade that
+error rate back for tail latency (each success pays its backoff), so the
+crispest cliff measurement uses ``shed_retries=0``.
+
+Only simulated (deterministic) quantities enter the report, so same-seed
+reruns emit byte-identical ``BENCH_serving.json`` files.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import ares_like
+from repro.core.runtime import HCL
+from repro.obs.registry import SLO_QUANTILES, percentile_summary, registry_of
+from repro.rpc.future import ServerOverloaded
+
+__all__ = [
+    "ZipfKeyGenerator",
+    "run_serving",
+    "emit_serving_json",
+    "render_serving",
+    "check_serving",
+    "DEFAULT_MIX",
+]
+
+#: read / write / RMW fractions of the map traffic (YCSB-B-ish)
+DEFAULT_MIX: Tuple[float, float, float] = (0.70, 0.20, 0.10)
+
+#: fixed serving value payload (~100B, the YCSB-ish small-object regime)
+_VALUE = "v" * 100
+
+_OP_CLASSES = ("read", "write", "rmw", "queue")
+
+
+class ZipfKeyGenerator:
+    """Seeded Zipf(theta) sampler over one tenant's key namespace.
+
+    Popularity rank ``r`` (0-based) is drawn with probability proportional
+    to ``(r+1)**-theta`` via an exact CDF + bisection; a deterministic
+    shuffle maps ranks to key ids so the hottest key is not always id 0
+    (which would bias partition routing).  Keys are namespaced per tenant
+    (``t<tenant>:k<id>``), giving each tenant a private keyspace inside the
+    shared container.  Everything derives from ``(seed, tenant)`` — two
+    generators built with the same pair emit identical streams.
+    """
+
+    def __init__(self, keys: int, theta: float, seed: int, tenant: int = 0):
+        if keys < 1:
+            raise ValueError("need at least one key")
+        if theta < 0:
+            raise ValueError("theta must be >= 0 (0 = uniform)")
+        self.keys = keys
+        self.theta = theta
+        self.tenant = tenant
+        self._rng = random.Random((seed * 0x9E3779B1) ^ (tenant * 0x85EBCA6B))
+        acc = 0.0
+        cdf: List[float] = []
+        for r in range(1, keys + 1):
+            acc += r ** -theta
+            cdf.append(acc)
+        self._cdf = [c / acc for c in cdf]
+        ids = list(range(keys))
+        random.Random((seed << 1) ^ tenant ^ 0x5BF03635).shuffle(ids)
+        self._ids = ids
+
+    def sample_rank(self) -> int:
+        """Draw a popularity rank (0 = hottest)."""
+        return bisect_left(self._cdf, self._rng.random())
+
+    def key_at(self, rank: int) -> str:
+        """The tenant-namespaced key holding popularity rank ``rank``."""
+        return f"t{self.tenant}:k{self._ids[rank]}"
+
+    def sample(self) -> str:
+        """Draw a key with Zipf(theta) popularity."""
+        return self.key_at(self.sample_rank())
+
+
+def _jain_fairness(xs: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly even, 1/n = one tenant hogs."""
+    total = sum(xs)
+    if total <= 0:
+        return 0.0
+    return (total * total) / (len(xs) * sum(x * x for x in xs))
+
+
+def _run_one_config(
+    nodes: int,
+    procs_per_node: int,
+    clients: int,
+    tenants: int,
+    theta: float,
+    keys: int,
+    mix: Tuple[float, float, float],
+    queue_frac: float,
+    queue_home: str,
+    rate: float,
+    ops_per_client: float,
+    seed: int,
+    queue_bound: Optional[int],
+    shed_retries: int,
+    retry_backoff: float,
+    rpc_batch_size: int,
+) -> Dict:
+    """One full serving run under one admission-control setting."""
+    spec = ares_like(nodes=nodes, procs_per_node=procs_per_node, seed=seed)
+    h = HCL(spec, rpc_batch_size=rpc_batch_size, rpc_queue_bound=queue_bound)
+    sim = h.sim
+    metrics = registry_of(sim)
+
+    store = h.unordered_map("serving-map", partitions=nodes)
+    # "packed" pins every tenant queue to node 0 — the paper's queues are
+    # single-partitioned and live where the constructing process runs, so
+    # a popular shared queue service IS a node hotspot.  "spread" places
+    # them round-robin instead (the load-balanced deployment).
+    queues = [h.queue(f"serving-q{t}",
+                      home_node=0 if queue_home == "packed" else t % nodes)
+              for t in range(tenants)]
+    gens = [ZipfKeyGenerator(keys, theta, seed, tenant=t)
+            for t in range(tenants)]
+
+    latency = metrics.histogram("serving/latency")
+    class_hist = {c: metrics.histogram(f"serving/{c}/latency")
+                  for c in _OP_CLASSES}
+    tenant_hist = [metrics.histogram(f"serving/t{t}/latency")
+                   for t in range(tenants)]
+    tenant_done = [metrics.counter(f"serving/t{t}/completed")
+                   for t in range(tenants)]
+    issued = metrics.counter("serving/issued")
+    completed = metrics.counter("serving/completed")
+    shed = metrics.counter("serving/shed")  # bumped by the servers
+    retried = metrics.counter("serving/shed_retried")
+    gaveup = metrics.counter("serving/shed_gaveup")
+    errors = metrics.counter("serving/errors")
+    key_counts: Dict[str, int] = {}
+
+    read_cut, write_cut = mix[0], mix[0] + mix[1]
+
+    def issue(factory, tenant: int, klass: str) -> None:
+        """Fire one op open-loop; record client-visible completion latency.
+
+        Shed ops retry with exponential backoff (up to ``shed_retries``),
+        keeping the original issue timestamp — the latency a real client
+        would observe across the reject/retry cycle.
+        """
+        t0 = sim.now
+        state = {"attempt": 0}
+
+        def on_done(ev) -> None:
+            if ev.ok:
+                lat = sim.now - t0
+                latency.observe(lat)
+                class_hist[klass].observe(lat)
+                tenant_hist[tenant].observe(lat)
+                completed.add(1)
+                tenant_done[tenant].add(1)
+            elif (isinstance(ev.value, ServerOverloaded)
+                    and state["attempt"] < shed_retries):
+                state["attempt"] += 1
+                retried.add(1)
+                delay = retry_backoff * (2 ** (state["attempt"] - 1))
+
+                def backoff_then_retry():
+                    yield sim.timeout(delay)
+                    factory()._event.add_callback(on_done)
+
+                sim.process(backoff_then_retry(), name="serving-retry")
+            elif isinstance(ev.value, ServerOverloaded):
+                gaveup.add(1)
+            else:
+                errors.add(1)
+
+        issued.add(1)
+        factory()._event.add_callback(on_done)
+
+    total_ranks = spec.total_procs
+    base, extra = divmod(clients, total_ranks)
+
+    def rank_body(rank: int):
+        n_clients = base + (1 if rank < extra else 0)
+        n_ops = int(round(ops_per_client * n_clients))
+        if n_ops == 0:
+            return
+        rng = random.Random((seed << 20) ^ (rank * 0x9E3779B1))
+        merged_rate = n_clients * rate  # Poisson superposition
+        for seq in range(n_ops):
+            yield sim.timeout(rng.expovariate(merged_rate))
+            tenant = rng.randrange(tenants)
+            u = rng.random()
+            if u < queue_frac:
+                q = queues[tenant]
+                if rng.random() < 0.5:
+                    issue(lambda q=q, r=rank, v=(tenant, seq):
+                          q.push_async(r, v), tenant, "queue")
+                else:
+                    issue(lambda q=q, r=rank: q.pop_async(r),
+                          tenant, "queue")
+                continue
+            key = gens[tenant].sample()
+            key_counts[key] = key_counts.get(key, 0) + 1
+            v = rng.random()
+            if v < read_cut:
+                issue(lambda r=rank, k=key: store.find_async(r, k),
+                      tenant, "read")
+            elif v < write_cut:
+                issue(lambda r=rank, k=key: store.insert_async(r, k, _VALUE),
+                      tenant, "write")
+            else:
+                # RMW counters live beside the blob keys under a distinct
+                # prefix, so an upsert never lands on a string value.
+                issue(lambda r=rank, k="c:" + key: store.upsert_async(r, k, 1),
+                      tenant, "rmw")
+
+    # Arrivals stop after the fixed op count; the sim then drains every
+    # queued request and in-flight retry before run_ranks returns, so
+    # backlog delay (the cliff) is fully captured in the histograms.
+    h.run_ranks(rank_body)
+    sim_seconds = sim.now
+
+    part_ops = [int(p.ops.value) for p in store.partitions]
+    total_part = sum(part_ops)
+    mean_part = total_part / len(part_ops) if part_ops else 0.0
+    total_keyed = sum(key_counts.values())
+    per_tenant = {
+        f"t{t}": {
+            "completed": int(tenant_done[t].value),
+            **percentile_summary(tenant_hist[t], SLO_QUANTILES),
+        }
+        for t in range(tenants)
+    }
+    row = {
+        "queue_bound": queue_bound,
+        "issued": int(issued.value),
+        "completed": int(completed.value),
+        "shed": int(shed.value),
+        "shed_seen_by_clients": int(metrics.sum_matching("/shed_seen", "rpcc")),
+        "shed_retried": int(retried.value),
+        "shed_gaveup": int(gaveup.value),
+        "errors": int(errors.value),
+        "sim_seconds": sim_seconds,
+        "ops_per_sim_sec": (completed.value / sim_seconds
+                            if sim_seconds > 0 else 0.0),
+        "latency": percentile_summary(latency, SLO_QUANTILES),
+        "per_class": {c: percentile_summary(class_hist[c], SLO_QUANTILES)
+                      for c in _OP_CLASSES},
+        "per_tenant": per_tenant,
+        "fairness_jain": _jain_fairness(
+            [tenant_done[t].value for t in range(tenants)]
+        ),
+        "hot_key_amplification": (max(part_ops) / mean_part
+                                  if mean_part else 0.0),
+        "hot_partition_share": (max(part_ops) / total_part
+                                if total_part else 0.0),
+        "top_key_share": (max(key_counts.values()) / total_keyed
+                          if total_keyed else 0.0),
+    }
+    h.close()
+    return row
+
+
+def run_serving(
+    nodes: int = 64,
+    procs_per_node: int = 4,
+    clients: int = 100_000,
+    tenants: int = 8,
+    theta: float = 0.99,
+    keys: int = 16_384,
+    mix: Tuple[float, float, float] = DEFAULT_MIX,
+    queue_frac: float = 0.10,
+    queue_home: str = "packed",
+    rate: float = 100.0,
+    ops_per_client: float = 1.0,
+    seed: int = 7,
+    bounds: Sequence[Optional[int]] = (None, 64),
+    shed_retries: int = 1,
+    retry_backoff: float = 1e-3,
+    rpc_batch_size: int = 1,
+) -> Dict:
+    """Run the serving bench once per admission-control bound; return the
+    report dict (simulated/deterministic fields only — no wall clock)."""
+    if not 0.999 <= sum(mix) <= 1.001:
+        raise ValueError(f"mix must sum to 1.0, got {mix}")
+    if not 0.0 <= queue_frac < 1.0:
+        raise ValueError("queue_frac must be in [0, 1)")
+    if queue_home not in ("packed", "spread"):
+        raise ValueError("queue_home must be 'packed' or 'spread'")
+    if rate <= 0 or ops_per_client <= 0:
+        raise ValueError("rate and ops_per_client must be positive")
+    configs = [
+        _run_one_config(
+            nodes, procs_per_node, clients, tenants, theta, keys, mix,
+            queue_frac, queue_home, rate, ops_per_client, seed, bound,
+            shed_retries, retry_backoff, rpc_batch_size,
+        )
+        for bound in bounds
+    ]
+    report = {
+        "benchmark": "serving_zipf",
+        "nodes": nodes,
+        "procs_per_node": procs_per_node,
+        "clients": clients,
+        "tenants": tenants,
+        "theta": theta,
+        "keys_per_tenant": keys,
+        "mix": {"read": mix[0], "write": mix[1], "rmw": mix[2]},
+        "queue_frac": queue_frac,
+        "queue_home": queue_home,
+        "rate_per_client": rate,
+        "ops_per_client": ops_per_client,
+        "seed": seed,
+        "shed_retries": shed_retries,
+        "retry_backoff": retry_backoff,
+        "rpc_batch_size": rpc_batch_size,
+        "configs": configs,
+    }
+    unbounded = [c for c in configs if c["queue_bound"] is None]
+    bounded = [c for c in configs if c["queue_bound"] is not None]
+    if unbounded and bounded:
+        p99_off = unbounded[0]["latency"]["p99"]
+        p99_on = min(c["latency"]["p99"] for c in bounded)
+        report["cliff"] = {
+            "p99_shedding_off": p99_off,
+            "p99_shedding_on": p99_on,
+            "p99_ratio": p99_off / p99_on if p99_on > 0 else 0.0,
+        }
+    return report
+
+
+def emit_serving_json(report: Dict, path: str = "BENCH_serving.json") -> str:
+    """Write the report (sorted keys + trailing newline: byte-reproducible)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def render_serving(report: Dict) -> str:
+    """Fixed-width table of the per-bound serving SLOs."""
+    from repro.harness.report import render_table
+
+    rows = []
+    for cfg in report["configs"]:
+        lat = cfg["latency"]
+        rows.append([
+            "off" if cfg["queue_bound"] is None else str(cfg["queue_bound"]),
+            cfg["completed"],
+            cfg["shed"],
+            cfg["shed_gaveup"],
+            lat["p50"] * 1e6,
+            lat["p95"] * 1e6,
+            lat["p99"] * 1e6,
+            lat["p99.9"] * 1e6,
+            cfg["fairness_jain"],
+            cfg["hot_key_amplification"],
+        ])
+    title = (
+        f"serving: {report['nodes']}x{report['procs_per_node']} nodes, "
+        f"{report['clients']} clients, {report['tenants']} tenants, "
+        f"Zipf(theta={report['theta']})"
+    )
+    return render_table(
+        title,
+        ["bound", "done", "shed", "gaveup", "p50us", "p95us", "p99us",
+         "p99.9us", "jain", "hotkey_amp"],
+        rows,
+    )
+
+
+def check_serving(report: Dict, require_cliff: bool = False,
+                  cliff_factor: float = 3.0) -> List[str]:
+    """Sanity failures for CI (empty list = pass).
+
+    ``require_cliff`` additionally demands the overload signature: the
+    unbounded config's p99 at least ``cliff_factor`` x the bounded one's
+    (i.e. shedding visibly flattens the latency cliff).
+    """
+    failures: List[str] = []
+    slo_keys = {f"p{100 * q:g}" for q in SLO_QUANTILES}
+    for cfg in report["configs"]:
+        label = f"bound={cfg['queue_bound']}"
+        if cfg["completed"] <= 0:
+            failures.append(f"{label}: no ops completed")
+        accounted = cfg["completed"] + cfg["shed_gaveup"] + cfg["errors"]
+        if accounted != cfg["issued"]:
+            failures.append(
+                f"{label}: {cfg['issued']} issued but {accounted} accounted "
+                f"(completed+gaveup+errors)"
+            )
+        if cfg["errors"]:
+            failures.append(f"{label}: {cfg['errors']} unexpected op errors")
+        missing = slo_keys - set(cfg["latency"])
+        if missing:
+            failures.append(f"{label}: latency summary missing {sorted(missing)}")
+        if not 0.0 < cfg["fairness_jain"] <= 1.0:
+            failures.append(
+                f"{label}: fairness {cfg['fairness_jain']} outside (0, 1]"
+            )
+        starved = [t for t, stats in cfg["per_tenant"].items()
+                   if stats["completed"] == 0]
+        if starved:
+            failures.append(f"{label}: starved tenants {starved}")
+        if cfg["queue_bound"] is None and cfg["shed"]:
+            failures.append(f"{label}: shed {cfg['shed']} ops with no bound")
+    if require_cliff:
+        cliff = report.get("cliff")
+        if cliff is None:
+            failures.append(
+                "cliff check requested but report lacks an unbounded/bounded "
+                "config pair"
+            )
+        elif cliff["p99_ratio"] < cliff_factor:
+            failures.append(
+                f"no overload cliff: unbounded p99 only "
+                f"{cliff['p99_ratio']:.2f}x the bounded p99 "
+                f"(need >= {cliff_factor}x)"
+            )
+    return failures

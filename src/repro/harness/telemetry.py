@@ -35,6 +35,7 @@ import json
 from typing import Dict, List, Sequence, Tuple
 
 from repro.config import ares_like
+from repro.obs.registry import percentile_summary
 
 __all__ = [
     "TELEMETRY_APPS",
@@ -98,12 +99,15 @@ def run_telemetry(
         ops, sim_s, verified, _agg = _run_app(app, spec, scale, aggregation,
                                               instrument)
         sampler = box["sampler"]
+        # Summary stats ride the shared obs quantile path; ``mean``/``max``
+        # keep their historical spellings alongside the summary block.
         series = {
             name: {
                 "times": list(ts.times),
                 "values": list(ts.values),
                 "mean": ts.mean(),
                 "max": ts.max(),
+                "summary": percentile_summary(list(ts.values)),
             }
             for name, ts in sampler.series.items()
         }

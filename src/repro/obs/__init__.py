@@ -15,6 +15,8 @@ exporter formats.
 
 from repro.obs.registry import (
     MetricsRegistry,
+    SLO_QUANTILES,
+    percentile_summary,
     publish_scheduler_metrics,
     registry_of,
 )
@@ -39,6 +41,8 @@ from repro.obs.exporters import (
 
 __all__ = [
     "MetricsRegistry",
+    "SLO_QUANTILES",
+    "percentile_summary",
     "publish_scheduler_metrics",
     "registry_of",
     "Span",

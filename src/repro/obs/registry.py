@@ -21,11 +21,66 @@ registry is bit-identical to one without it.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from typing import Sequence
 
 from repro.simnet.stats import Counter, Gauge, Histogram
 
-__all__ = ["MetricsRegistry", "registry_of"]
+__all__ = [
+    "MetricsRegistry",
+    "SLO_QUANTILES",
+    "percentile_summary",
+    "registry_of",
+]
+
+#: serving-SLO quantile set (p50/p95/p99/p99.9) — the tail percentiles the
+#: serving harness and its BENCH_serving.json report
+SLO_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99, 0.999)
+
+#: the registry snapshot's historical quantile set (p50/p90/p99)
+_SNAPSHOT_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
+
+
+def percentile_summary(
+    source: Union[Histogram, Sequence[float]],
+    qs: Sequence[float] = _SNAPSHOT_QUANTILES,
+) -> Dict[str, float]:
+    """One ``{n, mean, min, max, p50, ...}`` dict for any latency source.
+
+    The single quantile-extraction path every harness summary goes
+    through: pass a :class:`~repro.simnet.stats.Histogram` (bucketed
+    estimates via :meth:`~repro.simnet.stats.Histogram.percentiles`) or a
+    plain value sequence (exact nearest-rank quantiles).  Keys follow the
+    histogram convention — ``0.999`` becomes ``"p99.9"``.
+    """
+    if isinstance(source, Histogram):
+        return {
+            "n": source.n,
+            "mean": source.mean(),
+            "min": source.min or 0.0,
+            "max": source.max or 0.0,
+            **source.percentiles(qs),
+        }
+    values = sorted(source)
+    n = len(values)
+    out = {
+        "n": n,
+        "mean": sum(values) / n if n else 0.0,
+        "min": values[0] if n else 0.0,
+        "max": values[-1] if n else 0.0,
+    }
+    for q in qs:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantiles must be in [0,1]")
+        if n == 0:
+            out[f"p{100 * q:g}"] = 0.0
+        else:
+            # Nearest-rank: the smallest value with cumulative share >= q.
+            rank = max(0, min(n - 1, math.ceil(q * n) - 1))
+            out[f"p{100 * q:g}"] = values[rank]
+    return out
 
 #: attribute the registry hangs off a Simulator (created lazily)
 _SIM_ATTR = "_obs_metrics"
@@ -98,6 +153,25 @@ class MetricsRegistry:
                 total += metric.value
         return total
 
+    def merged_histogram(self, suffix: str, prefix: str = "") -> Histogram:
+        """Bucket-exact union of every histogram matching ``prefix``/``suffix``.
+
+        The distribution analogue of :meth:`sum_matching`: per-node
+        histogram fleets (``rpcc0/latency``, ``rpcc1/latency``, ...) fold
+        into one cluster-wide :class:`Histogram` ready for
+        :func:`percentile_summary`.
+        """
+        merged = Histogram(f"{prefix}*{suffix}")
+        for name in sorted(self._metrics):
+            if not name.endswith(suffix):
+                continue
+            if prefix and not name.startswith(prefix):
+                continue
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                merged.merge(metric)
+        return merged
+
     # -- export ---------------------------------------------------------------
     def snapshot(self, prefixes: Optional[Iterable[str]] = None) -> Dict:
         """Flat, deterministic (sorted-key) dict of every metric's state.
@@ -120,13 +194,7 @@ class MetricsRegistry:
             elif isinstance(metric, Gauge):
                 out[name] = {"value": metric.value, "peak": metric.peak}
             else:  # Histogram
-                out[name] = {
-                    "n": metric.n,
-                    "mean": metric.mean(),
-                    "min": metric.min or 0.0,
-                    "max": metric.max or 0.0,
-                    **metric.percentiles(),
-                }
+                out[name] = percentile_summary(metric)
         return out
 
 

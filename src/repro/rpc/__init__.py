@@ -16,12 +16,12 @@ Innovations from the paper carried over: request aggregation on the NIC
 one invocation), and future-based synchronous/asynchronous execution.
 """
 
-from repro.rpc.future import RPCFuture, RemoteError
+from repro.rpc.future import RPCFuture, RemoteError, ServerOverloaded
 from repro.rpc.server import RpcServer, RpcContext
 from repro.rpc.client import RpcClient
 from repro.rpc.coalesce import OpCoalescer, ReadCache
 
 __all__ = [
-    "RPCFuture", "RemoteError", "RpcServer", "RpcContext", "RpcClient",
-    "OpCoalescer", "ReadCache",
+    "RPCFuture", "RemoteError", "ServerOverloaded", "RpcServer",
+    "RpcContext", "RpcClient", "OpCoalescer", "ReadCache",
 ]

@@ -40,7 +40,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.fabric.faults import FabricDropped
 from repro.obs.registry import registry_of
 from repro.obs.span import tracer_of
-from repro.rpc.future import RemoteError, RPCFuture, TargetUnavailable
+from repro.rpc.future import (
+    RemoteError,
+    RPCFuture,
+    ServerOverloaded,
+    TargetUnavailable,
+)
 from repro.rpc.server import RpcRequest, RpcServer
 from repro.serialization.databox import estimate_size
 
@@ -55,7 +60,7 @@ class RpcClient:
     __slots__ = (
         "cluster", "sim", "cost", "src_node", "servers", "qp",
         "invocations", "latency", "retries", "timeouts", "exhausted",
-        "fused_hits", "fused_fallbacks", "_token_seq",
+        "shed_seen", "fused_hits", "fused_fallbacks", "_token_seq",
     )
 
     def __init__(self, cluster, src_node: int, servers: Dict[int, RpcServer]):
@@ -72,6 +77,7 @@ class RpcClient:
         self.retries = metrics.counter(f"rpcc{src_node}/retries")
         self.timeouts = metrics.counter(f"rpcc{src_node}/timeouts")
         self.exhausted = metrics.counter(f"rpcc{src_node}/exhausted")
+        self.shed_seen = metrics.counter(f"rpcc{src_node}/shed_seen")
         # -- batch-charge observability (shared, cluster-wide counters) ------
         self.fused_hits = metrics.counter("scheduler/batch_charge_hits")
         self.fused_fallbacks = metrics.counter("scheduler/batch_charge_fallbacks")
@@ -205,8 +211,9 @@ class RpcClient:
                     send_done, msg = fused_send
                     yield send_done
                     nic = target.nic
-                    if not nic.recv_queue.try_put(msg):
-                        yield nic.recv_queue.put(msg)
+                    if nic.admit(msg):
+                        if not nic.recv_queue.try_put(msg):
+                            yield nic.recv_queue.put(msg)
                 else:
                     if fused:
                         self.fused_fallbacks.add(1)
@@ -259,6 +266,12 @@ class RpcClient:
             if envelope is None:
                 raise RemoteError(req.op, "response slot empty")
             if not envelope["ok"]:
+                if envelope.get("shed"):
+                    # Admission control rejected the op before execution:
+                    # retriable, and distinct from a handler failure.
+                    self.shed_seen.add(1)
+                    raise ServerOverloaded(req.op, dst_node,
+                                           envelope["depth"], envelope["bound"])
                 raise RemoteError(req.op, envelope["error"])
             self.latency.observe(self.sim.now - fut.issued_at)
             if envelope["callbacks"]:

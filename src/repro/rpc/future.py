@@ -16,7 +16,7 @@ from typing import Any, Callable, Optional
 from repro.fabric.node import NodeDownError
 from repro.simnet.core import Event, Simulator
 
-__all__ = ["RPCFuture", "RemoteError", "TargetUnavailable"]
+__all__ = ["RPCFuture", "RemoteError", "ServerOverloaded", "TargetUnavailable"]
 
 
 class RemoteError(RuntimeError):
@@ -26,6 +26,30 @@ class RemoteError(RuntimeError):
         super().__init__(f"remote handler {op!r} failed: {original}")
         self.op = op
         self.original = original
+
+
+class ServerOverloaded(RemoteError):
+    """The target's bounded RPC receive queue was full; the op was shed.
+
+    Admission control (``RpcServer(queue_bound=...)``) rejected the request
+    at the receive queue, *before* execution — the handler never ran, so
+    there are no remote side effects and the caller may safely re-issue
+    (with the same idempotency token on the hardened path).  Deliberately
+    NOT a :class:`~repro.fabric.node.NodeDownError`: the target is alive
+    and answering, just saturated, so container failover must not kick in.
+    """
+
+    def __init__(self, op: str, dst_node: int, depth: int, bound: int):
+        RuntimeError.__init__(
+            self,
+            f"rpc {op!r} shed by node {dst_node}: receive queue full "
+            f"({depth}/{bound})"
+        )
+        self.op = op
+        self.original = "server overloaded"
+        self.dst_node = dst_node
+        self.depth = depth
+        self.bound = bound
 
 
 class TargetUnavailable(NodeDownError):

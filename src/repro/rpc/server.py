@@ -98,9 +98,15 @@ class RpcServer:
     RESPONSE_REGION = "__rpc_responses__"
     RESPONSE_SLOTS = 1 << 16
 
-    def __init__(self, node: Node, batch_size: int = 1, workers: Optional[int] = None):
+    #: CQE size signalled for a shed (rejected) request's envelope
+    SHED_COMPLETION_BYTES = 128
+
+    def __init__(self, node: Node, batch_size: int = 1, workers: Optional[int] = None,
+                 queue_bound: Optional[int] = None):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if queue_bound is not None and queue_bound < 1:
+            raise ValueError("queue_bound must be >= 1 (or None for unbounded)")
         self.node = node
         self.sim = node.sim
         self.cost = node.cost
@@ -120,6 +126,14 @@ class RpcServer:
         #: token -> _IN_FLIGHT | (envelope, completion_size); insertion-ordered
         #: so eviction drops the oldest settled tokens first
         self._dedup: "OrderedDict[Any, Any]" = OrderedDict()
+        # -- admission control (backpressure knob) ---------------------------
+        #: max requests waiting in the NIC receive queue; ``None`` = unbounded
+        self.queue_bound = queue_bound
+        self.shed = metrics.counter(f"rpc{node.node_id}/shed")
+        #: cluster-wide rollup all servers of one sim share
+        self.shed_total = metrics.counter("serving/shed")
+        if queue_bound is not None:
+            node.nic.admission = self._admit
         self._stopped = False
         n_workers = workers if workers is not None else 2 * self.cost.nic_cores
         for i in range(n_workers):
@@ -148,6 +162,42 @@ class RpcServer:
 
     def stop(self) -> None:
         self._stopped = True
+
+    # -- admission control ------------------------------------------------------
+    def _admit(self, msg) -> bool:
+        """Bounded-receive-queue load shedding (installed as ``nic.admission``).
+
+        Admit while fewer than ``queue_bound`` requests wait; once the queue
+        is exactly full, shed: deposit a retriable ``shed`` envelope in the
+        request's response slot and signal its completion immediately —
+        without executing the handler, so a shed op has no side effects.
+        The dedup table is deliberately untouched: a retry carrying the
+        same idempotency token is a fresh request, not a replay, and
+        executes normally once the queue has room.
+        """
+        if len(self.node.nic.recv_queue) < self.queue_bound:
+            return True
+        req = msg.payload
+        if not isinstance(req, RpcRequest):
+            return True  # only RoR requests are governed by the bound
+        completion = self._completions.pop(req.slot, None)
+        if completion is None:
+            # A duplicated delivery of an already-settled invocation (fault
+            # plans may clone packets): nothing to answer, just drop it.
+            return False
+        self.shed.add(1)
+        self.shed_total.add(1)
+        self.response_region.put_object(req.slot, {
+            "ok": False,
+            "error": "server overloaded",
+            "value": None,
+            "callbacks": [],
+            "shed": True,
+            "depth": len(self.node.nic.recv_queue),
+            "bound": self.queue_bound,
+        })
+        completion.succeed(self.SHED_COMPLETION_BYTES)
+        return False
 
     # -- the NIC-core worker ---------------------------------------------------------
     def _worker_loop(self):

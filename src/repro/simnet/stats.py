@@ -151,6 +151,24 @@ class Histogram:
         """Named quantiles (``{"p50": ..., "p90": ..., "p99": ...}``)."""
         return {f"p{100 * q:g}": self.quantile(q) for q in qs}
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s samples into this histogram (bucket-exact).
+
+        Log2 buckets are position-independent, so the union of two
+        histograms is just summed bucket counts — this is how per-node
+        metric fleets (``rpc0/exec``, ``rpc1/exec``, ...) roll up into one
+        cluster-wide distribution without re-observing samples.
+        """
+        for bucket, count in other.counts.items():
+            self.counts[bucket] = self.counts.get(bucket, 0) + count
+        self.n += other.n
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
 
 def summarize(values: List[float]) -> Dict[str, float]:
     """Mean / min / max / stdev / p50-ish summary of a sample list."""

@@ -1,0 +1,96 @@
+"""The bench-regression gate must pass on the committed BENCH files and
+flag synthetic regressions."""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.check_regression import (
+    compare_agg,
+    compare_kernel,
+    compare_serving,
+    main,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load(name: str):
+    path = REPO_ROOT / name
+    if not path.exists():
+        pytest.skip(f"{name} not committed")
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestCommittedBaselinesAreGreen:
+    """Committed vs itself must be a clean pass — the gate's CI invariant."""
+
+    def test_kernel(self):
+        rep = _load("BENCH_kernel.json")
+        assert compare_kernel(rep, rep) == []
+
+    def test_agg(self):
+        rep = _load("BENCH_agg.json")
+        assert compare_agg(rep, rep) == []
+
+    def test_serving(self):
+        rep = _load("BENCH_serving.json")
+        assert compare_serving(rep, rep) == []
+
+    def test_cli_green_on_committed(self, tmp_path):
+        src = REPO_ROOT / "BENCH_serving.json"
+        if not src.exists():
+            pytest.skip("BENCH_serving.json not committed")
+        assert main(["--kind", "serving", "--fresh", str(src),
+                     "--baseline", str(src)]) == 0
+
+
+class TestRegressionsAreFlagged:
+    def test_kernel_throughput_drop(self):
+        base = _load("BENCH_kernel.json")
+        slow = copy.deepcopy(base)
+        slow["events_per_sec"] *= 0.5
+        failures = compare_kernel(slow, base)
+        assert any("events_per_sec" in f for f in failures)
+        # Within tolerance: a 10% dip is noise, not a regression.
+        mild = copy.deepcopy(base)
+        mild["events_per_sec"] *= 0.9
+        assert compare_kernel(mild, base) == []
+
+    def test_agg_speedup_drop_and_scale_mismatch(self):
+        base = _load("BENCH_agg.json")
+        worse = copy.deepcopy(base)
+        app = sorted(base["speedups"])[0]
+        worse["speedups"][app]["sim_speedup"] *= 0.5
+        assert any(app in f for f in compare_agg(worse, base))
+        rescaled = copy.deepcopy(base)
+        rescaled["scale"] = base["scale"] * 2
+        assert any("not comparable" in f
+                   for f in compare_agg(rescaled, base))
+
+    def test_serving_throughput_p99_and_cliff(self):
+        base = _load("BENCH_serving.json")
+        worse = copy.deepcopy(base)
+        worse["configs"][0]["ops_per_sim_sec"] *= 0.5
+        assert any("ops_per_sim_sec" in f
+                   for f in compare_serving(worse, base))
+        slower = copy.deepcopy(base)
+        slower["configs"][0]["latency"]["p99"] *= 2.0
+        assert any("p99" in f for f in compare_serving(slower, base))
+        flat = copy.deepcopy(base)
+        if "cliff" in base:
+            flat["cliff"]["p99_ratio"] *= 0.5
+            assert any("p99_ratio" in f
+                       for f in compare_serving(flat, base))
+
+    def test_serving_config_mismatch_refuses_comparison(self):
+        base = _load("BENCH_serving.json")
+        other = copy.deepcopy(base)
+        other["clients"] = base["clients"] * 10
+        failures = compare_serving(other, base)
+        assert failures and all("not comparable" in f for f in failures)

@@ -1,0 +1,263 @@
+"""Tests for the Zipfian serving harness and admission-control shedding."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import ares_like
+from repro.fabric import Cluster
+from repro.harness.serving import (
+    ZipfKeyGenerator,
+    check_serving,
+    emit_serving_json,
+    render_serving,
+    run_serving,
+)
+from repro.rpc import RpcClient, RpcServer, ServerOverloaded
+
+
+class TestZipfKeyGenerator:
+    def test_seeded_reproducibility(self):
+        a = ZipfKeyGenerator(256, 0.99, seed=11, tenant=3)
+        b = ZipfKeyGenerator(256, 0.99, seed=11, tenant=3)
+        assert [a.sample() for _ in range(500)] == \
+               [b.sample() for _ in range(500)]
+
+    def test_seed_and_tenant_change_the_stream(self):
+        base = ZipfKeyGenerator(256, 0.99, seed=11, tenant=0)
+        other_seed = ZipfKeyGenerator(256, 0.99, seed=12, tenant=0)
+        other_tenant = ZipfKeyGenerator(256, 0.99, seed=11, tenant=1)
+        ranks = [base.sample_rank() for _ in range(200)]
+        assert ranks != [other_seed.sample_rank() for _ in range(200)]
+        # Tenant keys live in disjoint namespaces even for equal ranks.
+        assert base.key_at(0).startswith("t0:k")
+        assert other_tenant.key_at(0).startswith("t1:k")
+
+    def test_rank_id_shuffle_is_a_permutation(self):
+        gen = ZipfKeyGenerator(128, 0.5, seed=4, tenant=2)
+        ids = {gen.key_at(r) for r in range(128)}
+        assert len(ids) == 128
+
+    def test_rank_frequency_slope_tracks_theta(self):
+        """log(freq) vs log(rank) must fall with slope ~ -theta."""
+        theta = 0.9
+        gen = ZipfKeyGenerator(512, theta, seed=7)
+        counts = [0] * 512
+        for _ in range(60_000):
+            counts[gen.sample_rank()] += 1
+        xs, ys = [], []
+        for rank in range(20):  # top ranks: thousands of hits each
+            assert counts[rank] > 0
+            xs.append(math.log(rank + 1))
+            ys.append(math.log(counts[rank]))
+        n = len(xs)
+        mx, my = sum(xs) / n, sum(ys) / n
+        slope = (sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+                 / sum((x - mx) ** 2 for x in xs))
+        assert slope == pytest.approx(-theta, abs=0.15)
+
+    def test_theta_zero_is_uniform(self):
+        gen = ZipfKeyGenerator(64, 0.0, seed=9)
+        counts = [0] * 64
+        for _ in range(32_000):
+            counts[gen.sample_rank()] += 1
+        assert min(counts) > 0
+        assert max(counts) / min(counts) < 1.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfKeyGenerator(0, 0.99, seed=1)
+        with pytest.raises(ValueError):
+            ZipfKeyGenerator(8, -0.1, seed=1)
+
+
+@pytest.fixture
+def shed_rig(small_spec):
+    """2-node cluster; node 1 serves with ONE worker and queue_bound=2.
+
+    One worker makes the shed boundary exact: the first request is held in
+    execution (off the queue), the next ``bound`` wait in the receive
+    queue, and the request after that must be shed.
+    """
+    cluster = Cluster(small_spec)
+    servers = {
+        0: RpcServer(cluster.node(0)),
+        1: RpcServer(cluster.node(1), workers=1, queue_bound=2),
+    }
+    client = RpcClient(cluster, 0, servers)
+
+    def slow(ctx, duration):
+        yield ctx.sim.timeout(duration)
+        return "done"
+
+    servers[1].bind("slow", slow)
+    return cluster, servers, client
+
+
+class TestLoadShedding:
+    def test_queue_exactly_full_boundary(self, shed_rig):
+        """bound+worker in-flight ops are admitted; exactly one more sheds."""
+        cluster, servers, client = shed_rig
+        futs = [client.invoke(1, "slow", (1e-3,)) for _ in range(4)]
+        cluster.run()
+        ok = [f for f in futs if f._event.ok]
+        failed = [f for f in futs if not f._event.ok]
+        assert len(ok) == 3 and len(failed) == 1
+        err = failed[0]._event.value
+        assert isinstance(err, ServerOverloaded)
+        assert err.bound == 2
+        assert err.depth == 2  # shed while the queue held exactly `bound`
+        assert err.dst_node == 1
+        assert servers[1].shed.value == 1
+        assert client.shed_seen.value == 1
+
+    def test_shed_is_retriable_not_node_down(self, shed_rig):
+        from repro.fabric.node import NodeDownError
+
+        cluster, _servers, client = shed_rig
+        futs = [client.invoke(1, "slow", (1e-3,)) for _ in range(4)]
+        cluster.run()
+        err = next(f._event.value for f in futs if not f._event.ok)
+        # ServerOverloaded must NOT trigger container failover paths.
+        assert not isinstance(err, NodeDownError)
+
+    def test_shed_then_retry_succeeds(self, shed_rig):
+        cluster, servers, client = shed_rig
+        futs = [client.invoke(1, "slow", (1e-3,)) for _ in range(4)]
+        cluster.run()  # burst settles; queue drains fully
+        assert sum(1 for f in futs if not f._event.ok) == 1
+        retry = client.invoke(1, "slow", (1e-3,))
+        cluster.run()
+        assert retry.result == "done"
+        assert servers[1].shed.value == 1  # the retry was not shed
+
+    def test_idempotency_token_preserved_across_shed(self, shed_rig):
+        """A shed op leaves no dedup residue: the same-token retry executes
+        fresh exactly once, and only then is the token replay-protected."""
+        cluster, servers, client = shed_rig
+        calls = []
+        servers[1].bind("record", lambda ctx, x: calls.append(x) or len(calls))
+        token = client.next_token()
+        fill = [client.invoke(1, "slow", (1e-3,)) for _ in range(3)]
+        box = {}
+
+        def late_record():
+            # Smaller requests marshal faster; delay so the record op
+            # arrives after every fill (but well inside the 1ms handler).
+            yield cluster.sim.timeout(5e-5)
+            box["fut"] = client.invoke(1, "record", ("a",), token=token)
+
+        cluster.spawn(late_record())
+        cluster.run()
+        shed_fut = box["fut"]
+        assert all(f._event.ok for f in fill)
+        assert isinstance(shed_fut._event.value, ServerOverloaded)
+        assert token not in servers[1]._dedup  # no residue from the shed
+        assert calls == []  # handler never ran
+
+        retry = client.invoke(1, "record", ("a",), token=token)
+        cluster.run()
+        assert retry.result == 1
+        assert calls == ["a"]
+        assert token in servers[1]._dedup  # now replay-protected
+
+        dup = client.invoke(1, "record", ("a",), token=token)
+        cluster.run()
+        assert dup.result == 1  # replayed envelope, not a re-execution
+        assert calls == ["a"]
+        assert servers[1].duplicates_suppressed.value == 1
+
+    def test_unbounded_server_installs_no_admission_hook(self, small_spec):
+        cluster = Cluster(small_spec)
+        server = RpcServer(cluster.node(0))
+        assert server.queue_bound is None
+        assert cluster.node(0).nic.admission is None
+
+    def test_queue_bound_validation(self, small_spec):
+        cluster = Cluster(small_spec)
+        with pytest.raises(ValueError):
+            RpcServer(cluster.node(1), queue_bound=0)
+
+
+TINY = dict(nodes=2, procs_per_node=2, clients=40, tenants=2, theta=0.9,
+            keys=64, queue_frac=0.5, queue_home="packed", rate=50_000.0,
+            ops_per_client=10.0, seed=5, bounds=(None, 2), shed_retries=1,
+            retry_backoff=1e-3, rpc_batch_size=1)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_serving(**TINY)
+
+
+class TestServingReport:
+    def test_sanity_checks_pass(self, tiny_report):
+        assert check_serving(tiny_report) == []
+
+    def test_accounting_and_structure(self, tiny_report):
+        assert tiny_report["clients"] == 40
+        assert "cliff" in tiny_report
+        for cfg in tiny_report["configs"]:
+            assert cfg["issued"] == 400  # clients * ops_per_client
+            assert (cfg["completed"] + cfg["shed_gaveup"] + cfg["errors"]
+                    == cfg["issued"])
+            for key in ("p50", "p95", "p99", "p99.9"):
+                assert key in cfg["latency"]
+            assert 0.0 < cfg["fairness_jain"] <= 1.0
+            assert cfg["hot_key_amplification"] >= 1.0
+
+    def test_bounded_config_sheds_and_unbounded_does_not(self, tiny_report):
+        unbounded, bounded = tiny_report["configs"]
+        assert unbounded["queue_bound"] is None and unbounded["shed"] == 0
+        assert bounded["queue_bound"] == 2 and bounded["shed"] > 0
+        assert bounded["shed_seen_by_clients"] == bounded["shed"]
+
+    def test_per_tenant_sections(self, tiny_report):
+        for cfg in tiny_report["configs"]:
+            assert set(cfg["per_tenant"]) == {"t0", "t1"}
+            assert all(s["completed"] > 0
+                       for s in cfg["per_tenant"].values())
+
+    def test_render_table(self, tiny_report):
+        text = render_serving(tiny_report)
+        assert "bound" in text and "p99.9us" in text
+        assert "off" in text  # the unbounded row
+
+    def test_same_seed_reports_are_byte_identical(self, tmp_path):
+        params = dict(TINY, clients=20, ops_per_client=5.0)
+        p1 = tmp_path / "a.json"
+        p2 = tmp_path / "b.json"
+        emit_serving_json(run_serving(**params), str(p1))
+        emit_serving_json(run_serving(**params), str(p2))
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_check_serving_flags_missing_cliff(self, tiny_report):
+        failures = check_serving(tiny_report, require_cliff=True,
+                                 cliff_factor=1e9)
+        assert any("cliff" in f for f in failures)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mix"):
+            run_serving(clients=4, mix=(0.9, 0.2, 0.1))
+        with pytest.raises(ValueError, match="queue_frac"):
+            run_serving(clients=4, queue_frac=1.5)
+        with pytest.raises(ValueError, match="queue_home"):
+            run_serving(clients=4, queue_home="stacked")
+        with pytest.raises(ValueError, match="positive"):
+            run_serving(clients=4, rate=0.0)
+
+
+class TestServingRuntimeWiring:
+    def test_hcl_queue_bound_reaches_servers(self):
+        from repro.core.runtime import HCL
+
+        spec = ares_like(nodes=2, procs_per_node=2, seed=1)
+        h = HCL(spec, rpc_queue_bound=7)
+        try:
+            assert all(s.queue_bound == 7 for s in h._servers.values())
+            assert all(h.cluster.node(n).nic.admission is not None
+                       for n in range(2))
+        finally:
+            h.close()

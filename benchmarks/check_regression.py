@@ -17,6 +17,11 @@ more than ``--tolerance`` (default 15%):
   when both reports carry one.  All simulated and deterministic: on
   identical code the fresh report is byte-identical to the baseline, so
   any drift here is a real behavior change.
+* ``async``   — the pipelined-futures A/B: the async-auto-over-sync
+  speedup (wall or sim, matching the baseline's mode; higher is better),
+  the async p99 server queue wait (lower is better — the SLO the AIMD
+  windows protect), and the auto-tuned-vs-best-static ratio (lower is
+  better).  Every fresh row must verify with a single shared digest.
 
 Usage::
 
@@ -31,7 +36,8 @@ import json
 import sys
 from typing import Dict, List
 
-__all__ = ["compare_kernel", "compare_agg", "compare_serving", "main"]
+__all__ = ["compare_kernel", "compare_agg", "compare_serving",
+           "compare_async", "main"]
 
 DEFAULT_TOLERANCE = 0.15
 
@@ -135,10 +141,53 @@ def compare_serving(fresh: Dict, baseline: Dict,
     return failures
 
 
+def compare_async(fresh: Dict, baseline: Dict,
+                  tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    failures: List[str] = []
+    for key in ("scale", "nodes", "procs_per_node", "sim_only"):
+        if fresh.get(key) != baseline.get(key):
+            failures.append(
+                f"async runs not comparable: {key} {fresh.get(key)} vs "
+                f"{baseline.get(key)}"
+            )
+    if failures:
+        return failures
+    digests = set()
+    for row in fresh.get("rows", []):
+        if not row.get("verified", True):
+            failures.append(
+                f"async row failed verification: {row['mode']} "
+                f"aggregation={row['aggregation']}"
+            )
+        digests.add(row.get("digest"))
+    if len(digests) > 1:
+        failures.append(
+            f"async digests diverged across modes: {sorted(digests)}"
+        )
+    f_sum, b_sum = fresh.get("summary", {}), baseline.get("summary", {})
+    metric = "sim" if baseline.get("sim_only") else "wall"
+    key = f"async_{metric}_speedup"
+    f, b = f_sum.get(key), b_sum.get(key)
+    if f is None:
+        failures.append(f"async summary missing {key!r}")
+    elif b and _worse(f, b, tolerance):
+        failures.append(_fmt(f"async {key}", f, b))
+    f, b = f_sum.get("queue_wait_p99_async"), b_sum.get("queue_wait_p99_async")
+    if f is not None and b and _worse(f, b, tolerance,
+                                      higher_is_better=False):
+        failures.append(_fmt("async queue_wait_p99", f, b))
+    f, b = f_sum.get("auto_vs_best_static"), b_sum.get("auto_vs_best_static")
+    if f is not None and b and _worse(f, b, tolerance,
+                                      higher_is_better=False):
+        failures.append(_fmt("async auto_vs_best_static", f, b))
+    return failures
+
+
 _COMPARATORS = {
     "kernel": compare_kernel,
     "agg": compare_agg,
     "serving": compare_serving,
+    "async": compare_async,
 }
 
 

@@ -16,8 +16,9 @@ exact sequential histogram.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.apps.genome import GenomeData, exact_kmer_counts
 from repro.bcl import BCL
@@ -37,6 +38,16 @@ class KmerResult:
     verified: bool
     filtered_kmers: int = 0  # dropped by the min_count noise filter
     agg_report: Optional[dict] = None  # flush/cache counters when aggregating
+    #: crc32 over the sorted final histogram — two runs computed the same
+    #: counts iff their digests are equal (the sync-vs-async A/B check)
+    digest: str = ""
+
+
+def _counts_digest(counts: dict) -> str:
+    crc = 0
+    for key in sorted(counts):
+        crc = zlib.crc32(f"{key}:{counts[key]};".encode("utf-8"), crc)
+    return f"{crc:08x}"
 
 
 def _reads_for_rank(data: GenomeData, rank: int, total: int):
@@ -44,9 +55,11 @@ def _reads_for_rank(data: GenomeData, rank: int, total: int):
 
 
 def run_kmer_counting(backend: str, spec: ClusterSpec, data: GenomeData,
-                      min_count: int = 1, aggregation: int = 0,
+                      min_count: int = 1,
+                      aggregation: Union[int, str] = 0,
                       instrument=None, batch_charge: bool = False,
-                      sim_only: bool = False) -> KmerResult:
+                      sim_only: bool = False, async_api: bool = False,
+                      window=None) -> KmerResult:
     """Count k-mers on ``backend``.
 
     ``min_count`` is Meraculous's noise filter: k-mers observed fewer than
@@ -66,10 +79,18 @@ def run_kmer_counting(backend: str, spec: ClusterSpec, data: GenomeData,
     favor of O(distinct) conservation checks.  Upsert deltas are semantic
     and never stubbed, so the histogram itself is still exact and the
     simulated timeline is bit-identical to the full-data run.
+
+    ``async_api`` (HCL only): count through the pipelined-futures API
+    (``async_rmw``) instead of per-op generators.  ``aggregation``
+    defaults to ``"auto"`` (the self-tuning coalescer) when left unset.
+
+    ``window`` (HCL only): AIMD congestion-window config for the RPC
+    client (``True`` for defaults, a ``WindowConfig`` to tune).
     """
     if backend == "hcl":
         return _run_hcl(spec, data, min_count, aggregation, instrument,
-                        batch_charge=batch_charge, sim_only=sim_only)
+                        batch_charge=batch_charge, sim_only=sim_only,
+                        async_api=async_api, window=window)
     if backend == "bcl":
         return _run_bcl(spec, data, min_count)
     raise ValueError(f"unknown backend {backend!r}")
@@ -99,10 +120,13 @@ def _apply_filter(counts: dict, min_count: int):
 
 
 def _run_hcl(spec: ClusterSpec, data: GenomeData,
-             min_count: int = 1, aggregation: int = 0,
+             min_count: int = 1, aggregation: Union[int, str] = 0,
              instrument=None, batch_charge: bool = False,
-             sim_only: bool = False) -> KmerResult:
-    hcl = HCL(spec)
+             sim_only: bool = False, async_api: bool = False,
+             window=None) -> KmerResult:
+    if async_api and not aggregation:
+        aggregation = "auto"
+    hcl = HCL(spec, window=window)
     table = hcl.unordered_map("kmers", partitions=hcl.num_nodes,
                               initial_buckets=1024, aggregation=aggregation,
                               batch_charge=batch_charge, sim_only=sim_only)
@@ -111,20 +135,41 @@ def _run_hcl(spec: ClusterSpec, data: GenomeData,
     total_procs = spec.total_procs
     seen = 0
 
-    def rank_body(rank):
-        nonlocal seen
-        count = 0
-        for read in _reads_for_rank(data, rank, total_procs):
-            for kmer in data.kmers_of_read(read):
-                if aggregation:
-                    yield from table.upsert_buffered(rank, kmer, 1)
-                else:
-                    yield from table.upsert(rank, kmer, 1)
-                count += 1
-        if aggregation:
+    if async_api:
+        def rank_body(rank):
+            nonlocal seen
+            count = 0
+            futs = []
+            push = futs.append
+            rmw = table.async_rmw
+            for read in _reads_for_rank(data, rank, total_procs):
+                for kmer in data.kmers_of_read(read):
+                    push(rmw(rank, kmer, 1))
+                    count += 1
+            # Sync point: drain the write combiner, then await the few
+            # stragglers (same-node ops complete through local processes).
             yield from table.flush(rank)
-        seen += count
-        return count
+            for fut in futs:
+                if not fut.done:
+                    yield fut.wait()
+                _ = fut.result  # surfaces any failed upsert
+            seen += count
+            return count
+    else:
+        def rank_body(rank):
+            nonlocal seen
+            count = 0
+            for read in _reads_for_rank(data, rank, total_procs):
+                for kmer in data.kmers_of_read(read):
+                    if aggregation:
+                        yield from table.upsert_buffered(rank, kmer, 1)
+                    else:
+                        yield from table.upsert(rank, kmer, 1)
+                    count += 1
+            if aggregation:
+                yield from table.flush(rank)
+            seen += count
+            return count
 
     hcl.run_ranks(rank_body)
     counts = {k: v for part in table.partitions for k, v in part.structure.items()}
@@ -133,7 +178,8 @@ def _run_hcl(spec: ClusterSpec, data: GenomeData,
     verified = verified_cheap if sim_only else _verify(counts, data, min_count)
     return KmerResult("hcl", hcl.num_nodes, seen, len(counts), hcl.now,
                       verified, filtered_kmers=filtered,
-                      agg_report=table.aggregation_report() or None)
+                      agg_report=table.aggregation_report() or None,
+                      digest=_counts_digest(counts))
 
 
 def _run_bcl(spec: ClusterSpec, data: GenomeData,
@@ -174,4 +220,4 @@ def _run_bcl(spec: ClusterSpec, data: GenomeData,
     counts, filtered = _apply_filter(counts, min_count)
     return KmerResult("bcl", bcl.cluster.num_nodes, seen, len(counts),
                       bcl.sim.now, _verify(counts, data, min_count),
-                      filtered_kmers=filtered)
+                      filtered_kmers=filtered, digest=_counts_digest(counts))

@@ -133,6 +133,7 @@ def _cmd_chaos_soak(args) -> int:
             horizon=args.horizon,
             aggregation=args.aggregation,
             instrument=instrument,
+            windows=args.windows,
         )
         print(render_report(report))
         suffix = plan if len(args.plans) > 1 else ""
@@ -360,6 +361,59 @@ def _cmd_aggbench(args) -> int:
     return 0
 
 
+def _cmd_asyncbench(args) -> int:
+    from repro.harness.asyncbench import emit_async_json, run_async_bench
+
+    collector = [] if args.metrics_out else None
+    report = run_async_bench(
+        scale=args.scale,
+        nodes=args.nodes,
+        procs_per_node=args.procs,
+        repeats=args.repeats,
+        sim_only=args.sim_only,
+        collector=collector,
+    )
+    print(render_table(
+        f"Async pipeline A/B (scale={args.scale}, "
+        f"{args.nodes}x{args.procs} ranks)",
+        ["mode", "buffer", "windows", "sim (s)", "wall (s)",
+         "qw p99 (us)", "stalls", "auto_thr", "digest"],
+        report.table_rows(),
+    ))
+    metric = "sim" if args.sim_only else "wall"
+    summary = report.summary()
+    speedup = summary.get(f"async_{metric}_speedup")
+    if speedup is not None:
+        print(f"  async-auto over sync baseline: {speedup:.2f}x {metric}")
+    ratio = summary.get("auto_vs_best_static")
+    if ratio is not None:
+        print(f"  auto vs best static (buffer="
+              f"{summary['best_static_aggregation']}): {ratio:.2f}x")
+    if args.emit:
+        print(f"wrote {emit_async_json(report, args.emit)}")
+    if args.metrics_out and collector:
+        import json
+
+        from repro.obs import (
+            metrics_snapshot, publish_scheduler_metrics, registry_of,
+        )
+
+        combined = {}
+        for label, sim in collector:
+            publish_scheduler_metrics(sim)
+            combined[label] = metrics_snapshot(registry_of(sim))
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(combined, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.metrics_out} ({len(combined)} runs)")
+    if args.check:
+        failures = report.check(min_speedup=args.min_speedup)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs import validate_chrome_trace, validate_span_log
 
@@ -491,7 +545,7 @@ def _cmd_serving(args) -> int:
 
 def _cmd_list(args) -> int:
     print("commands: fig1 fig5 fig6 fig7 sweep microbench kernelbench "
-          "aggbench chaos-soak trace telemetry serving list")
+          "aggbench asyncbench chaos-soak trace telemetry serving list")
     print("full asserted reproduction: pytest benchmarks/ --benchmark-only -s")
     return 0
 
@@ -558,6 +612,10 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--metrics-out", nargs="?", const="chaos_metrics.json",
                     default=None, metavar="PATH",
                     help="write the full metrics-registry snapshot as JSON")
+    pc.add_argument("--windows", action="store_true",
+                    help="arm per-(node, partition) AIMD congestion windows "
+                         "on every client; the report asserts they shrink "
+                         "under faults without losing acked writes")
     pc.set_defaults(fn=_cmd_chaos_soak)
 
     p7 = sub.add_parser("fig7", help="application kernels")
@@ -649,6 +707,36 @@ def build_parser() -> argparse.ArgumentParser:
                     default=None, metavar="PATH",
                     help="write per-run metrics-registry snapshots as JSON")
     pa.set_defaults(fn=_cmd_aggbench)
+
+    pb = sub.add_parser(
+        "asyncbench",
+        help="A/B the pipelined async-futures client (AIMD windows + "
+             "self-tuning coalescer) against the aggregated sync path",
+    )
+    pb.add_argument("--scale", type=_positive_float, default=1.0,
+                    help="work multiplier (genome/reads; default 1.0)")
+    pb.add_argument("--nodes", type=int, default=4)
+    pb.add_argument("--procs", type=int, default=3,
+                    help="rank processes per node")
+    pb.add_argument("--repeats", type=int, default=3,
+                    help="wall time takes the best of N runs")
+    pb.add_argument("--sim-only", action="store_true",
+                    help="omit wall-clock fields (deterministic JSON)")
+    pb.add_argument("--emit", nargs="?", const="BENCH_async.json",
+                    default=None, metavar="PATH",
+                    help="write rows + summary as JSON "
+                         "(default BENCH_async.json)")
+    pb.add_argument("--metrics-out", nargs="?", const="async_metrics.json",
+                    default=None, metavar="PATH",
+                    help="write per-run metrics snapshots (rpc/cwnd/*, "
+                         "rpc/window_stalls, coalesce/auto_threshold)")
+    pb.add_argument("--check", action="store_true",
+                    help="exit 1 unless async-auto clears --min-speedup "
+                         "with identical digests and matches the best "
+                         "static threshold within 10%")
+    pb.add_argument("--min-speedup", type=_positive_float, default=1.5,
+                    help="wall-speedup floor for --check (default 1.5)")
+    pb.set_defaults(fn=_cmd_asyncbench)
 
     pt = sub.add_parser(
         "trace",

@@ -98,8 +98,12 @@ class DistributedContainer:
             )
         if write_failover and replication <= 0:
             raise ValueError("write_failover requires replication >= 1")
-        if aggregation < 0:
-            raise ValueError("aggregation must be >= 0 (0 disables buffering)")
+        auto_aggregation = aggregation == "auto"
+        if not auto_aggregation and (not isinstance(aggregation, int)
+                                     or aggregation < 0):
+            raise ValueError(
+                'aggregation must be >= 0 (0 disables buffering) or "auto"'
+            )
         if sim_only and persistence:
             raise ValueError(
                 "sim_only replaces payloads with size stubs; incompatible "
@@ -120,12 +124,21 @@ class DistributedContainer:
         #: request aggregation (Section III-C3 / Table I amortization):
         #: ``aggregation=N`` write-combines buffered ops into per-(node,
         #: partition) buffers of up to N ops, flushed as ONE ``batch``
-        #: invocation.  0 (default) keeps the classic one-invocation-per-op
+        #: invocation.  ``aggregation="auto"`` starts small and self-tunes
+        #: the threshold from observed flush efficiency against the Table-I
+        #: cost model.  0 (default) keeps the classic one-invocation-per-op
         #: behavior, bit-identical to an unaggregated build.
-        self._coalescer = (
-            OpCoalescer(self, aggregation, aggregation_bytes)
-            if aggregation else None
-        )
+        if auto_aggregation:
+            from repro.rpc.coalesce import AUTO_INITIAL
+
+            self._coalescer = OpCoalescer(
+                self, AUTO_INITIAL, aggregation_bytes, auto=True
+            )
+        else:
+            self._coalescer = (
+                OpCoalescer(self, aggregation, aggregation_bytes)
+                if aggregation else None
+            )
         #: locality-aware read cache for read-mostly data; epoch-validated
         #: so a cached read can never observe a stale value.
         self._cache = ReadCache(runtime.sim, name) if read_cache else None
@@ -141,6 +154,12 @@ class DistributedContainer:
         #: simulated cost derives from the same sizes (bit-identical
         #: timeline); keyed reads return stubs instead of real data.
         self.sim_only = sim_only
+        #: rank -> home node, precomputed (rank placement is static) so the
+        #: pipelined per-op path skips two calls per operation
+        cluster = runtime.cluster
+        self._rank_home = [
+            cluster.node_of_rank(r) for r in range(cluster.total_procs)
+        ]
         metrics = registry_of(runtime.sim)
         self.ledger = CostLedger(metrics, prefix=name)
         self.local_hits = metrics.counter(f"{name}/local")
@@ -276,7 +295,7 @@ class DistributedContainer:
         caller_node = self.runtime.cluster.node_of_rank(rank)
         if self._coalescer is not None and _drain:
             yield from self._coalescer.drain(rank, part.index)
-        if (self._cache is not None and args
+        if (self._cache is not None and self._cache._entries and args
                 and op in self.KEYED_MUTATIONS):
             self._cache.invalidate_key(caller_node, part.index, args[0])
         if caller_node == part.node_id:
@@ -325,6 +344,7 @@ class DistributedContainer:
                 token=token,
                 trace_parent=trace_parent,
                 fused=(self.batch_charge and op == "batch"),
+                stream=part.index,
             )
             if self._cache is not None:
                 # Epoch piggybacked on the response: prune entries that
@@ -483,7 +503,7 @@ class DistributedContainer:
             self.runtime.sim.process(local_body(), name=f"local-{op}")
             return fut
         if self._coalescer is not None and op != "batch":
-            if (self._cache is not None and args
+            if (self._cache is not None and self._cache._entries and args
                     and op in self.KEYED_MUTATIONS):
                 self._cache.invalidate_key(caller_node, part.index, args[0])
             # Program order vs. buffered ops: fold this op into a pending
@@ -505,6 +525,37 @@ class DistributedContainer:
             (part.index, *args),
             payload_size=payload_bytes,
             fused=(self.batch_charge and op == "batch"),
+            stream=part.index,
+        )
+
+    def _pipeline_op(self, rank: int, part: Partition, op: str, args: tuple,
+                     payload_bytes: int) -> RPCFuture:
+        """Pipelined async mutation: always buffer when a coalescer exists.
+
+        The workhorse of the ``async_insert``/``async_rmw`` API: unlike
+        :meth:`_execute_async` (which folds into a pending buffer but issues
+        a lone direct invocation otherwise), a pipelined op *always* rides
+        the write-combining buffer of its destination — including same-node
+        partitions, where batching per-op futures into one locally-executed
+        flush replaces a spawned process per op.  An upsert storm becomes a
+        stream of full batches with one per-op future each.  With no
+        coalescer it degrades to :meth:`_execute_async`; ordering against
+        non-pipelined ops is guaranteed only at ``flush``/drain sync points.
+        """
+        coal = self._coalescer
+        if coal is None:
+            return self._execute_async(rank, part, op, args, payload_bytes)
+        if self.sim_only and op in self.SIM_ONLY_VALUE_ARGS:
+            args = self._stub_args(op, args)
+        caller_node = self._rank_home[rank]
+        cache = self._cache
+        # ``_entries`` empty means nothing can need invalidating — write
+        # storms skip the per-op tuple build + lookup entirely.
+        if (cache is not None and cache._entries and args
+                and op in self.KEYED_MUTATIONS):
+            cache.invalidate_key(caller_node, part.index, args[0])
+        return coal.append_async(
+            rank, caller_node, part, op, args, payload_bytes
         )
 
     # -- client-side aggregation (Section III-C3, Table I amortization) ----------
@@ -558,7 +609,7 @@ class DistributedContainer:
                 rank, part, op, args, payload_bytes
             )
             return result
-        if (self._cache is not None and args
+        if (self._cache is not None and self._cache._entries and args
                 and op in self.KEYED_MUTATIONS):
             self._cache.invalidate_key(caller_node, part.index, args[0])
         self._coalescer.append(
@@ -591,21 +642,41 @@ class DistributedContainer:
         from repro.structures.stats import OpStats
 
         results = []
-        total = OpStats()
+        append = results.append
         worst_bytes = 16
+        dispatch: dict = {}
+        # Plain-int accumulation: one OpStats at the end instead of an
+        # absorb call per sub-op — this loop runs once per buffered op on
+        # every aggregated hot path.
+        local_ops = reads = writes = cas = reloc = rentries = 0
+        resized = False
         for op, args in subops:
-            if op == "batch":
-                raise ValueError("nested batches are not allowed")
-            method = getattr(self, f"_do_{op}", None)
-            if method is None:
-                raise KeyError(f"unknown sub-operation {op!r}")
+            entry = dispatch.get(op)
+            if entry is None:
+                if op == "batch":
+                    raise ValueError("nested batches are not allowed")
+                method = getattr(self, f"_do_{op}", None)
+                if method is None:
+                    raise KeyError(f"unknown sub-operation {op!r}")
+                entry = dispatch[op] = (method, self._is_mutation(op))
+            method, is_mutation = entry
             result, stats, entry_bytes = method(part, *args)
-            if self._is_mutation(op):
+            if is_mutation:
                 part.write_epoch += 1
-            results.append(result)
+            append(result)
             if stats is not None:
-                total = total.merge(stats)
-            worst_bytes = max(worst_bytes, entry_bytes)
+                local_ops += stats.local_ops
+                reads += stats.reads
+                writes += stats.writes
+                cas += stats.cas_ops
+                reloc += stats.relocations
+                if stats.resized:
+                    resized = True
+                rentries += stats.resize_entries
+            if entry_bytes > worst_bytes:
+                worst_bytes = entry_bytes
+        total = OpStats(local_ops, reads, writes, cas, reloc, resized,
+                        rentries)
         return results, total, worst_bytes
 
     def _keyed_batch(self, rank: int, ops):
@@ -818,7 +889,19 @@ class DistributedContainer:
 
     @staticmethod
     def _entry_bytes(*values: Any) -> int:
-        return sum(estimate_size(v) for v in values)
+        # Inlined str/int fast paths: this runs twice per op (payload
+        # sizing at the caller, entry sizing at the target) on every
+        # container hot path, and keys are overwhelmingly strings or ints.
+        total = 0
+        for v in values:
+            t = type(v)
+            if t is str:
+                total += 4 + len(v)
+            elif t is int:
+                total += 8
+            else:
+                total += estimate_size(v)
+        return total
 
     def close(self) -> None:
         if self._coalescer is not None:

@@ -129,13 +129,11 @@ class _HashContainerBase(DistributedContainer):
         needs a find round trip plus an insert round trip (plus their CAS
         traffic) for the same effect.  Used by the k-mer counting kernel.
         """
-        value, found, fstats = part.structure.find(key)
-        base = value if found else 0
-        _new, istats = part.structure.insert(key, base + delta)
-        stats = fstats.merge(istats)
-        entry_bytes = self._entry_bytes(key, base + delta)
-        self._grow_segment_if_resized(part, stats, entry_bytes)
-        return base + delta, stats, entry_bytes
+        new, stats = part.structure.upsert(key, delta)
+        entry_bytes = self._entry_bytes(key, new)
+        if stats.resized:
+            self._grow_segment_if_resized(part, stats, entry_bytes)
+        return new, stats, entry_bytes
 
     def upsert(self, rank: int, key: Hashable, delta: Any = 1):
         """Generator: atomic increment-or-insert; returns the new value."""
@@ -175,6 +173,26 @@ class _HashContainerBase(DistributedContainer):
             payload_bytes=self._entry_bytes(key),
         )
         return result
+
+    # -- pipelined async API (per-op futures over the write combiner) --------
+    def async_rmw(self, rank: int, key: Hashable, delta: Any = 1) -> RPCFuture:
+        """Pipelined atomic increment-or-insert; future of the new value.
+
+        The combination the k-mer storm wants: the op write-combines like
+        :meth:`upsert_buffered`, yet the caller still gets *this op's*
+        result through a chainable future — pipelining without giving up
+        per-op completions.  Remote issues ride the AIMD congestion window
+        when the runtime has one armed.
+        """
+        part = self.partition_for(key)
+        return self._pipeline_op(
+            rank, part, "upsert", (key, delta),
+            self._entry_bytes(key, delta),
+        )
+
+    def async_find(self, rank: int, key: Hashable) -> RPCFuture:
+        """Pipelined cached read; future of the raw find result."""
+        return self._cached_find_async(rank, key)
 
     # -- locality-aware cached reads ---------------------------------------
     def _cached_find(self, rank: int, key: Hashable):
@@ -220,6 +238,10 @@ class _HashContainerBase(DistributedContainer):
             hit = self._cache.lookup(caller_node, part, key)
             if hit is not MISS:
                 fut = RPCFuture(self.runtime.sim, f"{self.name}.find")
+                # Materialize the event first: the settle then occupies a
+                # scheduler slot at the hit instant, keeping same-timestamp
+                # ordering identical to the eager-event design.
+                fut.wait()
                 fut._complete(hit)
                 return fut
         epoch_before = part.write_epoch
@@ -238,6 +260,12 @@ class _HashContainerBase(DistributedContainer):
 
     def __init__(self, runtime, name, partitions, hash_fn=None, **kwargs):
         self._hash_fn: Callable[[Any], int] = hash_fn or stable_hash
+        #: key -> winning Partition, memoizing the HRW sweep (pure host-side
+        #: work, so caching cannot perturb simulated time); cleared whenever
+        #: partition membership changes.
+        self._route_cache: dict = {}
+        self._route_len: int = -1
+        self._route_tail_uid: int = -1
         super().__init__(runtime, name, partitions, **kwargs)
         if self.replication:
             self._bind_replica_handlers()
@@ -259,6 +287,18 @@ class _HashContainerBase(DistributedContainer):
         return x ^ (x >> 32)
 
     def partition_for(self, key: Hashable) -> Partition:
+        # Guard against membership edits that bypass add/remove_partition
+        # (tests poke ``partitions`` directly): any length or tail-uid
+        # change voids every memoized winner.
+        parts = self.partitions
+        if (len(parts) != self._route_len
+                or parts[-1].uid != self._route_tail_uid):
+            self._route_len = len(parts)
+            self._route_tail_uid = parts[-1].uid
+            self._route_cache.clear()
+        part = self._route_cache.get(key)
+        if part is not None:
+            return part
         h = self._hash_fn(key) & _MASK64
         best = None
         best_score = -1
@@ -267,6 +307,7 @@ class _HashContainerBase(DistributedContainer):
             if score > best_score:
                 best = part
                 best_score = score
+        self._route_cache[key] = best
         return best
 
     # -- explicit resize (Table I row 3) -----------------------------------
@@ -326,6 +367,7 @@ class _HashContainerBase(DistributedContainer):
             # Buffered ops routed under the old membership must land first.
             yield from self._coalescer.drain(rank)
         self.partitions.append(part)
+        self._route_cache.clear()  # HRW winners changed for ~1/(n+1) keys
         if self._cache is not None:
             self._cache.clear()  # partition indices / routing changed
         moved = yield from self._migrate_misplaced(rank)
@@ -343,6 +385,7 @@ class _HashContainerBase(DistributedContainer):
         if self._cache is not None:
             self._cache.clear()  # partition indices / routing changed
         victim = self.partitions.pop(partition_id)
+        self._route_cache.clear()  # surviving winners must be re-scored
         for i, part in enumerate(self.partitions):
             part.index = i
         evicted = list(victim.structure.items())
@@ -430,6 +473,14 @@ class HCLUnorderedMap(_HashContainerBase):
         payload = self._entry_bytes(key, value)
         return self._execute_async(rank, part, "insert", (key, value), payload)
 
+    def async_insert(self, rank: int, key: Hashable, value: Any) -> RPCFuture:
+        """Pipelined insert: write-combined, with a per-op result future."""
+        part = self.partition_for(key)
+        return self._pipeline_op(
+            rank, part, "insert", (key, value),
+            self._entry_bytes(key, value),
+        )
+
     def find(self, rank: int, key: Hashable):
         """bool find(const K&, V&) — Table I: F + L + R.
 
@@ -487,6 +538,13 @@ class HCLUnorderedSet(_HashContainerBase):
     def insert_async(self, rank: int, key: Hashable) -> RPCFuture:
         part = self.partition_for(key)
         return self._execute_async(
+            rank, part, "insert", (key,), self._entry_bytes(key)
+        )
+
+    def async_insert(self, rank: int, key: Hashable) -> RPCFuture:
+        """Pipelined insert: write-combined, with a per-op result future."""
+        part = self.partition_for(key)
+        return self._pipeline_op(
             rank, part, "insert", (key,), self._entry_bytes(key)
         )
 

@@ -254,6 +254,14 @@ class HCLMap(_OrderedContainerBase):
             rank, part, "insert", (key, value), self._entry_bytes(key, value)
         )
 
+    def async_insert(self, rank: int, key, value) -> RPCFuture:
+        """Pipelined insert: write-combined, with a per-op result future."""
+        part = self.partition_for(key)
+        return self._pipeline_op(
+            rank, part, "insert", (key, value),
+            self._entry_bytes(key, value),
+        )
+
     def find(self, rank: int, key):
         """Table I: F + L·log(N) + R.  Returns ``(value, found)``."""
         part = self.partition_for(key)
@@ -261,6 +269,13 @@ class HCLMap(_OrderedContainerBase):
             rank, part, "find", (key,), payload_bytes=self._entry_bytes(key)
         )
         return tuple(result)
+
+    def async_find(self, rank: int, key) -> RPCFuture:
+        """Pipelined find; future of ``(value, found)``."""
+        part = self.partition_for(key)
+        return self._execute_async(
+            rank, part, "find", (key,), self._entry_bytes(key)
+        ).then(tuple)
 
     def erase(self, rank: int, key):
         part = self.partition_for(key)
@@ -294,12 +309,26 @@ class HCLSet(_OrderedContainerBase):
         )
         return result
 
+    def async_insert(self, rank: int, key) -> RPCFuture:
+        """Pipelined insert: write-combined, with a per-op result future."""
+        part = self.partition_for(key)
+        return self._pipeline_op(
+            rank, part, "insert", (key,), self._entry_bytes(key)
+        )
+
     def find(self, rank: int, key):
         part = self.partition_for(key)
         result = yield from self._execute(
             rank, part, "find", (key,), payload_bytes=self._entry_bytes(key)
         )
         return result
+
+    def async_find(self, rank: int, key) -> RPCFuture:
+        """Pipelined membership test; future of the boolean."""
+        part = self.partition_for(key)
+        return self._execute_async(
+            rank, part, "find", (key,), self._entry_bytes(key)
+        )
 
     def erase(self, rank: int, key):
         part = self.partition_for(key)

@@ -34,6 +34,7 @@ from repro.memory.gas import GlobalAddressSpace
 from repro.memory.segment import MemorySegment
 from repro.rpc.client import RpcClient
 from repro.rpc.server import RpcServer
+from repro.rpc.window import WindowConfig
 from repro.structures.cuckoo import CuckooHash
 from repro.structures.lfqueue import OptimisticQueue
 from repro.structures.mdlist import MDListPriorityQueue
@@ -56,6 +57,7 @@ class HCL:
         persist_dir: Optional[str] = None,
         fault_plan=None,
         scheduler: str = "calendar",
+        window=None,
     ):
         if isinstance(spec_or_cluster, Cluster):
             self.cluster = spec_or_cluster
@@ -79,6 +81,12 @@ class HCL:
         self.containers: Dict[str, object] = {}
         self.persist_dir = persist_dir
         self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        # window arms per-(node, partition) AIMD congestion windows on every
+        # client: True for the defaults, or a WindowConfig.  None = classic
+        # unbounded issue.
+        if window is True:
+            window = WindowConfig()
+        self.window_config: Optional[WindowConfig] = window
 
     # -- plumbing accessors ----------------------------------------------------
     def server(self, node_id: int) -> RpcServer:
@@ -87,7 +95,8 @@ class HCL:
     def client(self, node_id: int) -> RpcClient:
         client = self._clients.get(node_id)
         if client is None:
-            client = RpcClient(self.cluster, node_id, self._servers)
+            client = RpcClient(self.cluster, node_id, self._servers,
+                               window=self.window_config)
             self._clients[node_id] = client
         return client
 

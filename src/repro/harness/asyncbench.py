@@ -1,0 +1,296 @@
+"""Wall-clock A/B benchmark of the pipelined async-futures client.
+
+``aggbench`` measures what destination-coalescing buys over one-op-per-
+invocation; this harness measures what the *pipelined programming model*
+buys on top of the best aggregated configuration.  The k-mer storm is run
+three ways over identical input:
+
+* **sync baseline** — the committed ``BENCH_agg`` winner: generator-based
+  ``upsert_buffered`` with the best hand-tuned static threshold.
+* **async static sweep** — the ``async_rmw`` futures API over the same
+  static thresholds, with AIMD congestion windows armed.  Per-op futures
+  ride the write combiner (including same-node partitions), so a rank
+  issues its whole storm without yielding per op.
+* **async auto** — the same async run with ``aggregation="auto"``: the
+  self-tuning coalescer derives the flush threshold from observed flush
+  efficiency and the Table-I overhead model, no knob set.
+
+Every row records the application-result digest; the bench *asserts* all
+digests are equal (the async pipeline reorders work, never results) and
+that every run verified.  Alongside wall time the rows capture the serving
+SLO the windows protect — the p99 of the servers' receive-queue wait — and
+the adaptive-state counters (``rpc/window_stalls``, ``auto_threshold``).
+
+Used by ``python -m repro.cli asyncbench`` and the CI async-smoke job;
+``--sim-only`` drops the wall-clock fields so the emitted
+``BENCH_async.json`` is bit-reproducible for the determinism diff.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import ares_like
+from repro.obs.registry import registry_of
+
+__all__ = [
+    "AsyncBenchRow",
+    "AsyncBenchReport",
+    "run_async_bench",
+    "emit_async_json",
+    "ASYNC_STATIC_SWEEP",
+    "SYNC_BASELINE_AGG",
+]
+
+#: static thresholds swept through the async API (windows armed)
+ASYNC_STATIC_SWEEP: Tuple[int, ...] = (64, 512)
+
+#: the sync baseline's hand-tuned threshold (BENCH_agg's kmer winner)
+SYNC_BASELINE_AGG: int = 512
+
+
+@dataclass
+class AsyncBenchRow:
+    """One (mode, threshold) measurement of the k-mer storm."""
+
+    mode: str                      # "sync" | "async"
+    aggregation: str               # "512", "64", ..., or "auto"
+    windows: bool
+    ops: int                       # k-mers counted
+    sim_seconds: float
+    wall_seconds: Optional[float]  # None in --sim-only mode
+    ops_per_sec: Optional[float]
+    verified: bool
+    digest: str                    # crc32 of the final histogram
+    queue_wait_p99: float          # p99 server receive-queue wait (sim s)
+    window_stalls: int             # ops queued behind a full cwnd
+    auto_threshold: Optional[int]  # final self-tuned threshold (auto rows)
+    agg: Optional[Dict] = None     # coalescer counters
+
+
+@dataclass
+class AsyncBenchReport:
+    scale: float
+    nodes: int
+    procs_per_node: int
+    sim_only: bool
+    rows: List[AsyncBenchRow] = field(default_factory=list)
+
+    def baseline(self) -> Optional[AsyncBenchRow]:
+        for row in self.rows:
+            if row.mode == "sync":
+                return row
+        return None
+
+    def auto_row(self) -> Optional[AsyncBenchRow]:
+        for row in self.rows:
+            if row.mode == "async" and row.aggregation == "auto":
+                return row
+        return None
+
+    def best_static_async(self) -> Optional[AsyncBenchRow]:
+        static = [r for r in self.rows
+                  if r.mode == "async" and r.aggregation != "auto"]
+        if not static:
+            return None
+        key = ((lambda r: r.sim_seconds) if self.sim_only
+               else (lambda r: r.wall_seconds))
+        return min(static, key=key)
+
+    def _time(self, row: AsyncBenchRow) -> float:
+        return row.sim_seconds if self.sim_only else row.wall_seconds
+
+    def summary(self) -> Dict[str, float]:
+        """Headline ratios: async-auto over the sync baseline, and the
+        self-tuned threshold against the best hand-tuned static one."""
+        out: Dict[str, float] = {}
+        base, auto, static = (self.baseline(), self.auto_row(),
+                              self.best_static_async())
+        metric = "sim" if self.sim_only else "wall"
+        if base and auto:
+            out[f"async_{metric}_speedup"] = self._time(base) / self._time(auto)
+            out["queue_wait_p99_async"] = auto.queue_wait_p99
+            out["queue_wait_p99_sync"] = base.queue_wait_p99
+        if auto and static:
+            # <= 1 + tolerance means self-tuning matched the hand-tuned knob
+            out["auto_vs_best_static"] = self._time(auto) / self._time(static)
+            out["best_static_aggregation"] = int(static.aggregation)
+        return out
+
+    def table_rows(self) -> List[List]:
+        out: List[List] = []
+        for row in self.rows:
+            out.append([
+                row.mode,
+                row.aggregation,
+                "on" if row.windows else "off",
+                f"{row.sim_seconds:.6f}",
+                "-" if row.wall_seconds is None else f"{row.wall_seconds:.3f}",
+                f"{row.queue_wait_p99 * 1e6:.2f}",
+                row.window_stalls,
+                row.auto_threshold if row.auto_threshold is not None else "-",
+                row.digest,
+            ])
+        return out
+
+    def check(self, min_speedup: float = 1.5,
+              auto_tolerance: float = 0.10) -> List[str]:
+        """Failures (empty = pass).
+
+        * every row verified, all digests identical (results, not just
+          timings, must survive the reordering pipeline);
+        * async-auto beats the sync baseline by ``min_speedup`` on wall
+          time (on sim time the pipeline must at least not regress —
+          the modeled timeline gains come from batch amortization, the
+          wall gains from not parking a generator per op);
+        * the self-tuned threshold lands within ``auto_tolerance`` of the
+          best hand-tuned static run.
+        """
+        failures: List[str] = []
+        for row in self.rows:
+            if not row.verified:
+                failures.append(
+                    f"{row.mode} agg={row.aggregation}: verification failed"
+                )
+        digests = {r.digest for r in self.rows}
+        if len(digests) > 1:
+            failures.append(
+                f"application results diverged across modes: {sorted(digests)}"
+            )
+        base, auto = self.baseline(), self.auto_row()
+        if base is None or auto is None:
+            failures.append("missing sync baseline or async-auto row")
+            return failures
+        summary = self.summary()
+        if self.sim_only:
+            speedup = summary["async_sim_speedup"]
+            if speedup < 1.0:
+                failures.append(
+                    f"async sim timeline regressed: {speedup:.2f}x < 1.0x"
+                )
+        else:
+            speedup = summary["async_wall_speedup"]
+            if speedup < min_speedup:
+                failures.append(
+                    f"async wall_speedup={speedup:.2f}x "
+                    f"< required {min_speedup:.2f}x"
+                )
+        ratio = summary.get("auto_vs_best_static")
+        if ratio is not None and ratio > 1.0 + auto_tolerance:
+            failures.append(
+                f"auto-tuned threshold {ratio:.2f}x slower than best "
+                f"static (allowed {1.0 + auto_tolerance:.2f}x)"
+            )
+        return failures
+
+
+def _run_once(spec, data, aggregation, async_api: bool, window):
+    """One k-mer run; returns (result, sim, p99, stalls, auto_thr)."""
+    from repro.apps import run_kmer_counting
+
+    box: Dict[str, object] = {}
+
+    def instrument(hcl):
+        box["sim"] = hcl.sim
+
+    res = run_kmer_counting(
+        "hcl", spec, data, aggregation=aggregation, sim_only=True,
+        async_api=async_api, window=window, instrument=instrument,
+    )
+    sim = box["sim"]
+    metrics = registry_of(sim)
+    qw = metrics.merged_histogram("/queue_wait", "rpc")
+    p99 = qw.quantile(0.99) if qw.n else 0.0
+    stalls = int(metrics.counter("rpc/window_stalls").value)
+    auto_thr = None
+    agg = (res.agg_report or {}).get("aggregation") or {}
+    if agg.get("auto"):
+        auto_thr = int(agg["auto_threshold"])
+    return res, sim, p99, stalls, auto_thr
+
+
+def run_async_bench(
+    scale: float = 1.0,
+    nodes: int = 4,
+    procs_per_node: int = 3,
+    static_sweep: Sequence[int] = ASYNC_STATIC_SWEEP,
+    repeats: int = 3,
+    sim_only: bool = False,
+    collector: Optional[List[Tuple[str, object]]] = None,
+) -> AsyncBenchReport:
+    """A/B the pipelined async client against the aggregated sync path.
+
+    All rows run the container timing-only mode over the exact workload
+    ``aggbench`` uses (same genome synthesis, same topology), so the sync
+    baseline's ``sim_seconds`` must match the committed ``BENCH_agg.json``
+    row bit-for-bit — drift there means a behavior change, not noise.
+    Wall time takes the best of ``repeats``; ``sim_only`` drops the wall
+    fields so same-seed reruns emit byte-identical JSON.
+
+    Pass a list as ``collector`` to receive one ``(label, sim)`` pair per
+    row — the CLI exports metrics snapshots (``rpc/cwnd/*``,
+    ``rpc/window_stalls``, ``coalesce/auto_threshold``) from those
+    simulators.
+    """
+    from repro.apps import synthesize_genome
+
+    def sc(n: float) -> int:
+        return max(1, round(n * scale))
+
+    report = AsyncBenchReport(scale, nodes, procs_per_node, sim_only)
+    data = synthesize_genome(
+        genome_length=sc(600 * nodes), num_reads=sc(48 * nodes),
+        read_length=60, k=15, seed=nodes,
+    )
+    #: (mode, aggregation, async_api, window)
+    plan = [("sync", SYNC_BASELINE_AGG, False, None)]
+    plan += [("async", agg, True, True) for agg in static_sweep]
+    plan += [("async", "auto", True, True)]
+    for mode, aggregation, async_api, window in plan:
+        best_wall: Optional[float] = None
+        collected = False
+        for _ in range(max(1, repeats) if not sim_only else 1):
+            spec = ares_like(nodes=nodes, procs_per_node=procs_per_node)
+            t0 = time.perf_counter()
+            res, sim, p99, stalls, auto_thr = _run_once(
+                spec, data, aggregation, async_api, window
+            )
+            wall = time.perf_counter() - t0
+            if collector is not None and not collected:
+                collector.append((f"{mode}-{aggregation}", sim))
+                collected = True
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+        report.rows.append(AsyncBenchRow(
+            mode=mode,
+            aggregation=str(aggregation),
+            windows=bool(window),
+            ops=res.total_kmers,
+            sim_seconds=res.time_seconds,
+            wall_seconds=None if sim_only else best_wall,
+            ops_per_sec=None if sim_only else res.total_kmers / best_wall,
+            verified=res.verified,
+            digest=res.digest,
+            queue_wait_p99=p99,
+            window_stalls=stalls,
+            auto_threshold=auto_thr,
+            agg=(res.agg_report or {}).get("aggregation"),
+        ))
+    return report
+
+
+def emit_async_json(report: AsyncBenchReport,
+                    path: str = "BENCH_async.json") -> str:
+    """Write rows + summary (sorted keys, trailing newline: CI-diffable)."""
+    payload = {
+        "benchmark": "async_pipeline",
+        "summary": report.summary(),
+        **asdict(report),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -63,6 +63,7 @@ def run_chaos_soak(
     retry: Optional[RetryPolicy] = None,
     aggregation: int = 0,
     instrument=None,
+    windows=None,
 ) -> Dict:
     """Run one seeded chaos soak; returns the metrics/verdict report dict.
 
@@ -82,6 +83,13 @@ def run_chaos_soak(
     ``instrument`` is invoked with the :class:`HCL` runtime after the
     containers are built but before the storm — the attach point for span
     tracers (``install_tracer(h.sim)``) and telemetry samplers.
+
+    ``windows`` arms per-(node, partition) AIMD congestion windows on every
+    client (``True`` for defaults, or a
+    :class:`~repro.rpc.window.WindowConfig`).  Under a fault storm the
+    windows must *shrink* (multiplicative decrease on failures), never
+    deadlock — the floor of 1 guarantees progress — and the exactly-once
+    ledger checks are unchanged: no acked write may be lost.
     """
     import random
 
@@ -91,7 +99,7 @@ def run_chaos_soak(
     )
     cluster = Cluster(spec)
     injector = cluster.install_faults(make_plan(plan, nodes, horizon=horizon))
-    h = HCL(cluster)
+    h = HCL(cluster, window=windows)
     keys = h.unordered_map(
         "soak_keys", replication=1, write_failover=True, hash_fn=_stable_hash
     )
@@ -221,11 +229,21 @@ def run_chaos_soak(
     # the report sees exactly what any other observability consumer sees.
     metrics = registry_of(h.sim)
     acked_total = len(acked_inserts) + sum(acked_counts.values())
+    cwnd_final = {}
+    if windows:
+        for client in h._clients.values():
+            if client.windows is not None:
+                cwnd_final.update(client.windows.snapshot())
     report = {
         "plan": plan,
         "seed": seed,
         "nodes": nodes,
         "procs_per_node": procs_per_node,
+        "windows": bool(windows),
+        "window_stalls": int(metrics.counter("rpc/window_stalls").value),
+        "window_sheds": int(metrics.counter("rpc/window_sheds").value),
+        "cwnd_final": cwnd_final,
+        "cwnd_min_final": min(cwnd_final.values()) if cwnd_final else None,
         "sim_time_storm": storm_time,
         "sim_time_total": h.now,
         "injected": injector.counters(),

@@ -146,10 +146,12 @@ def _run_one_config(
     shed_retries: int,
     retry_backoff: float,
     rpc_batch_size: int,
+    windows=None,
 ) -> Dict:
     """One full serving run under one admission-control setting."""
     spec = ares_like(nodes=nodes, procs_per_node=procs_per_node, seed=seed)
-    h = HCL(spec, rpc_batch_size=rpc_batch_size, rpc_queue_bound=queue_bound)
+    h = HCL(spec, rpc_batch_size=rpc_batch_size, rpc_queue_bound=queue_bound,
+            window=windows)
     sim = h.sim
     metrics = registry_of(sim)
 
@@ -245,15 +247,15 @@ def _run_one_config(
             key_counts[key] = key_counts.get(key, 0) + 1
             v = rng.random()
             if v < read_cut:
-                issue(lambda r=rank, k=key: store.find_async(r, k),
+                issue(lambda r=rank, k=key: store.async_find(r, k),
                       tenant, "read")
             elif v < write_cut:
-                issue(lambda r=rank, k=key: store.insert_async(r, k, _VALUE),
+                issue(lambda r=rank, k=key: store.async_insert(r, k, _VALUE),
                       tenant, "write")
             else:
                 # RMW counters live beside the blob keys under a distinct
                 # prefix, so an upsert never lands on a string value.
-                issue(lambda r=rank, k="c:" + key: store.upsert_async(r, k, 1),
+                issue(lambda r=rank, k="c:" + key: store.async_rmw(r, k, 1),
                       tenant, "rmw")
 
     # Arrivals stop after the fixed op count; the sim then drains every
@@ -282,6 +284,9 @@ def _run_one_config(
         "shed_retried": int(retried.value),
         "shed_gaveup": int(gaveup.value),
         "errors": int(errors.value),
+        "windows": bool(windows),
+        "window_stalls": int(metrics.counter("rpc/window_stalls").value),
+        "window_sheds": int(metrics.counter("rpc/window_sheds").value),
         "sim_seconds": sim_seconds,
         "ops_per_sim_sec": (completed.value / sim_seconds
                             if sim_seconds > 0 else 0.0),
@@ -320,9 +325,15 @@ def run_serving(
     shed_retries: int = 1,
     retry_backoff: float = 1e-3,
     rpc_batch_size: int = 1,
+    windows=None,
 ) -> Dict:
     """Run the serving bench once per admission-control bound; return the
-    report dict (simulated/deterministic fields only — no wall clock)."""
+    report dict (simulated/deterministic fields only — no wall clock).
+
+    ``windows`` arms per-(node, partition) AIMD congestion windows on the
+    issue path (``True`` for defaults, or a
+    :class:`~repro.rpc.window.WindowConfig`); shed ops are then retried by
+    the window itself before the harness-level backoff sees them."""
     if not 0.999 <= sum(mix) <= 1.001:
         raise ValueError(f"mix must sum to 1.0, got {mix}")
     if not 0.0 <= queue_frac < 1.0:
@@ -335,7 +346,7 @@ def run_serving(
         _run_one_config(
             nodes, procs_per_node, clients, tenants, theta, keys, mix,
             queue_frac, queue_home, rate, ops_per_client, seed, bound,
-            shed_retries, retry_backoff, rpc_batch_size,
+            shed_retries, retry_backoff, rpc_batch_size, windows,
         )
         for bound in bounds
     ]

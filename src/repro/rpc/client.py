@@ -47,6 +47,7 @@ from repro.rpc.future import (
     TargetUnavailable,
 )
 from repro.rpc.server import RpcRequest, RpcServer
+from repro.rpc.window import WindowConfig, WindowSet
 from repro.serialization.databox import estimate_size
 
 __all__ = ["RpcClient"]
@@ -61,9 +62,11 @@ class RpcClient:
         "cluster", "sim", "cost", "src_node", "servers", "qp",
         "invocations", "latency", "retries", "timeouts", "exhausted",
         "shed_seen", "fused_hits", "fused_fallbacks", "_token_seq",
+        "windows",
     )
 
-    def __init__(self, cluster, src_node: int, servers: Dict[int, RpcServer]):
+    def __init__(self, cluster, src_node: int, servers: Dict[int, RpcServer],
+                 window: Optional[WindowConfig] = None):
         self.cluster = cluster
         self.sim = cluster.sim
         self.cost = cluster.spec.cost
@@ -82,6 +85,11 @@ class RpcClient:
         self.fused_hits = metrics.counter("scheduler/batch_charge_hits")
         self.fused_fallbacks = metrics.counter("scheduler/batch_charge_fallbacks")
         self._token_seq = 0
+        #: AIMD congestion windows (None = unbounded issue, classic behavior)
+        self.windows = (
+            WindowSet(self.sim, src_node, window) if window is not None
+            else None
+        )
 
     def next_token(self) -> Tuple[int, int]:
         """A fresh idempotency token (unique per client, stable per run)."""
@@ -99,6 +107,7 @@ class RpcClient:
         token: Optional[Tuple[int, int]] = None,
         trace_parent=None,
         fused: bool = False,
+        stream: Optional[int] = None,
     ) -> RPCFuture:
         """Fire-and-return: asynchronous invocation of ``op`` on ``dst_node``.
 
@@ -120,7 +129,84 @@ class RpcClient:
         fused charge (:meth:`~repro.fabric.verbs.QueuePair.try_send_fused`)
         and fall back to per-packet simulation whenever the contention
         guard declines.  Containers set it for coalescer flush batches.
+
+        ``stream`` selects the congestion window when the client was built
+        with one (containers pass the target partition index, giving the
+        per-(node, partition) window); ignored when windows are off.
         """
+        if self.windows is not None:
+            return self._invoke_windowed(
+                dst_node, op, args, payload_size, callbacks, token,
+                trace_parent, fused, stream,
+            )
+        return self._invoke_direct(
+            dst_node, op, args, payload_size, callbacks, token,
+            trace_parent, fused,
+        )
+
+    def _invoke_windowed(self, dst_node, op, args, payload_size, callbacks,
+                         token, trace_parent, fused, stream) -> RPCFuture:
+        """Route one invocation through its AIMD window.
+
+        The caller's future settles with the final outcome; individual
+        attempts are plain direct invocations bridged onto it.  Sheds are
+        retried by the window after a capped exponential backoff — a pinned
+        idempotency token rides every attempt unchanged, while auto-assigned
+        tokens are drawn fresh per attempt (a shed op never executed, so a
+        fresh token cannot double-apply; see ``rpc/server.py`` dedup notes).
+        """
+        outer = RPCFuture(self.sim, op)
+        win = self.windows.window(dst_node, stream)
+        cfg = win.cfg
+        shed_tries = [0]
+
+        def launch(seq):
+            inner = self._invoke_direct(
+                dst_node, op, args, payload_size, callbacks, token,
+                trace_parent, fused,
+            )
+            issued = self.sim.now
+
+            def settled(f, seq=seq, issued=issued):
+                if f._ok:
+                    win.completed(seq, self.sim.now - issued)
+                    outer._complete(f._value)
+                    return
+                err = f._value
+                if isinstance(err, ServerOverloaded):
+                    win.shed(seq)
+                    if shed_tries[0] < cfg.max_shed_retries:
+                        shed_tries[0] += 1
+                        win.retries.add(1)
+                        delay = min(
+                            cfg.shed_backoff * (2.0 ** (shed_tries[0] - 1)),
+                            cfg.shed_backoff_max,
+                        )
+                        self.sim.schedule_callback(
+                            lambda: win.submit(launch), delay
+                        )
+                        return
+                else:
+                    win.failed(seq)
+                outer._error(err)
+
+            inner._on_settle(settled)
+
+        win.submit(launch)
+        return outer
+
+    def _invoke_direct(
+        self,
+        dst_node: int,
+        op: str,
+        args: Sequence[Any] = (),
+        payload_size: Optional[int] = None,
+        callbacks: Optional[List[Tuple[str, Sequence[Any]]]] = None,
+        token: Optional[Tuple[int, int]] = None,
+        trace_parent=None,
+        fused: bool = False,
+    ) -> RPCFuture:
+        """One unwindowed attempt (the classic invoke body)."""
         server = self.servers.get(dst_node)
         if server is None:
             raise KeyError(f"no RPC server on node {dst_node}")
@@ -161,10 +247,11 @@ class RpcClient:
         token: Optional[Tuple[int, int]] = None,
         trace_parent=None,
         fused: bool = False,
+        stream: Optional[int] = None,
     ):
         """Generator: synchronous invoke — yields until the result arrives."""
         fut = self.invoke(dst_node, op, args, payload_size, callbacks, token,
-                          trace_parent, fused)
+                          trace_parent, fused, stream)
         yield fut.wait()
         return fut.result
 

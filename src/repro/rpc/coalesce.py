@@ -44,17 +44,33 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.registry import registry_of
 from repro.obs.span import tracer_of
+from repro.rpc.future import RPCFuture
 
 __all__ = ["OpCoalescer", "ReadCache", "MISS"]
 
 #: default byte threshold per destination buffer (one flush's payload)
 DEFAULT_MAX_BYTES = 32 * 1024
 
+# -- auto-tune constants (``aggregation="auto"``) ----------------------------
+#: starting flush threshold before any efficiency feedback
+AUTO_INITIAL = 8
+#: lower bound the threshold can shrink to under sparse traffic
+AUTO_FLOOR = 4
+#: hard ceiling regardless of what the cost model would allow
+AUTO_HARD_CAP = 4096
+#: re-evaluate the threshold every this many flushes
+AUTO_ADJUST_EVERY = 8
+#: stop growing once the amortized fixed flush overhead (client stub +
+#: marshal base + server dispatch, the per-invocation terms of Table I)
+#: drops below this fraction of the per-op wire/serialize time
+AUTO_OVERHEAD_FRACTION = 0.05
+
 
 class _Buffer:
     """Pending sub-operations bound for one (caller-node, partition) pair."""
 
-    __slots__ = ("rank", "part", "subops", "payload_bytes", "opened_at")
+    __slots__ = ("rank", "part", "subops", "payload_bytes", "opened_at",
+                 "futures")
 
     def __init__(self, rank: int, part, opened_at: float = 0.0):
         self.rank = rank
@@ -63,6 +79,9 @@ class _Buffer:
         self.payload_bytes = 0
         #: sim time the first sub-op landed — start of the buffer span
         self.opened_at = opened_at
+        #: per-op result futures (pipelined async API); ``None`` until the
+        #: first ``append_async`` so the classic path pays nothing for it
+        self.futures: Optional[List] = None
 
 
 class OpCoalescer:
@@ -71,11 +90,13 @@ class OpCoalescer:
     __slots__ = (
         "container", "sim", "max_ops", "max_bytes", "_buffers", "_inflight",
         "flushes", "flushed_ops", "flushed_bytes", "threshold_flushes",
-        "sync_flushes",
+        "sync_flushes", "auto", "_fixed_overhead", "_wire_cost",
+        "_auto_flushes", "_auto_trips", "_auto_ops", "_auto_bytes",
+        "auto_gauge", "_auto_gauge_shared", "_labels",
     )
 
     def __init__(self, container, max_ops: int,
-                 max_bytes: int = DEFAULT_MAX_BYTES):
+                 max_bytes: int = DEFAULT_MAX_BYTES, auto: bool = False):
         if max_ops < 1:
             raise ValueError(f"aggregation buffer needs max_ops >= 1, got {max_ops}")
         self.container = container
@@ -86,6 +107,8 @@ class OpCoalescer:
         self._buffers: Dict[Tuple[int, int], _Buffer] = {}
         #: (node_id, part_index) -> in-flight flush futures
         self._inflight: Dict[Tuple[int, int], List] = {}
+        #: op -> "container.op" future label (hot-path f-string memo)
+        self._labels: Dict[str, str] = {}
         name = container.name
         metrics = registry_of(self.sim)
         self.flushes = metrics.counter(f"{name}/agg_flushes")
@@ -93,6 +116,30 @@ class OpCoalescer:
         self.flushed_bytes = metrics.counter(f"{name}/agg_bytes")
         self.threshold_flushes = metrics.counter(f"{name}/agg_threshold_flushes")
         self.sync_flushes = metrics.counter(f"{name}/agg_sync_flushes")
+        # -- self-tuning threshold (aggregation="auto") ----------------------
+        #: adapt ``max_ops`` from observed flush efficiency instead of
+        #: honoring a hand-tuned static value
+        self.auto = bool(auto)
+        cost = container.runtime.cluster.spec.cost
+        #: per-flush fixed overhead a bigger batch amortizes (Table I)
+        self._fixed_overhead = (cost.rpc_client_overhead + cost.serialize_base
+                                + cost.nic_rpc_dispatch)
+        #: closure: bytes -> unavoidable per-op time (wire + marshal slope)
+        self._wire_cost = (
+            lambda b: b / cost.link_bandwidth + b * cost.serialize_per_byte
+        )
+        self._auto_flushes = 0   # flushes since the last adjustment
+        self._auto_trips = 0     # of which hit a threshold (vs sync drains)
+        self._auto_ops = 0
+        self._auto_bytes = 0
+        self.auto_gauge = None
+        self._auto_gauge_shared = None
+        if self.auto:
+            self.auto_gauge = metrics.gauge(f"{name}/auto_threshold")
+            #: cluster-wide alias surfaced in --metrics-out snapshots
+            self._auto_gauge_shared = metrics.gauge("coalesce/auto_threshold")
+            self.auto_gauge.set(self.max_ops)
+            self._auto_gauge_shared.set(self.max_ops)
 
     # -- write combining ------------------------------------------------------
     def append(self, rank: int, node_id: int, part, op: str, args: tuple,
@@ -104,11 +151,46 @@ class OpCoalescer:
             buf = self._buffers[key] = _Buffer(rank, part, self.sim.now)
         buf.rank = rank  # flush on behalf of the most recent caller
         buf.subops.append((op, args))
+        if buf.futures is not None:
+            buf.futures.append(None)
         buf.payload_bytes += payload_bytes
         if (len(buf.subops) >= self.max_ops
                 or buf.payload_bytes >= self.max_bytes):
             self.threshold_flushes.add(1)
             self._flush_key(key)
+
+    def append_async(self, rank: int, node_id: int, part, op: str,
+                     args: tuple, payload_bytes: int):
+        """Buffer one sub-op and return a future for *its* result.
+
+        The pipelined-API sibling of :meth:`append`: the op rides the next
+        flush batch exactly as a plain buffered op does, but the caller gets
+        a per-op :class:`RPCFuture` settled from its slot of the batch
+        result (a failed flush fails every rider).  Chain it, AllOf it, or
+        let a later ``flush``/``drain`` sync point absorb it.
+        """
+        key = (node_id, part.index)
+        buffers = self._buffers
+        buf = buffers.get(key)
+        if buf is None:
+            buf = buffers[key] = _Buffer(rank, part, self.sim.now)
+        buf.rank = rank
+        futures = buf.futures
+        if futures is None:
+            futures = buf.futures = [None] * len(buf.subops)
+        label = self._labels.get(op)
+        if label is None:
+            label = self._labels[op] = f"{self.container.name}.{op}"
+        fut = RPCFuture(self.sim, label)
+        subops = buf.subops
+        subops.append((op, args))
+        futures.append(fut)
+        total = buf.payload_bytes + payload_bytes
+        buf.payload_bytes = total
+        if len(subops) >= self.max_ops or total >= self.max_bytes:
+            self.threshold_flushes.add(1)
+            self._flush_key(key)
+        return fut
 
     def fold(self, rank: int, node_id: int, part, op: str, args: tuple,
              payload_bytes: int):
@@ -126,9 +208,24 @@ class OpCoalescer:
             return None
         buf.rank = rank
         buf.subops.append((op, args))
+        if buf.futures is not None:
+            buf.futures.append(None)
         buf.payload_bytes += payload_bytes
         fut = self._flush_key(key)
-        return fut.then(lambda results: results[-1])
+        # Chain through the flush future's kernel event (not then(), which
+        # now runs at settle time inside the producer step): the tail-slot
+        # extraction keeps running at the settle event's pop, preserving
+        # same-timestamp ordering for the aggregated benches.
+        nxt = RPCFuture(self.sim, f"{fut.op}+tail")
+
+        def _tail(event, nxt=nxt):
+            if event.ok:
+                nxt._complete(event.value[-1])
+            else:
+                nxt._error(event.value)
+
+        fut._event.add_callback(_tail)
+        return nxt
 
     def _flush_key(self, key: Tuple[int, int]):
         """Ship one buffer as a single ``batch`` invocation (asynchronous)."""
@@ -136,6 +233,15 @@ class OpCoalescer:
         self.flushes.add(1)
         self.flushed_ops.add(len(buf.subops))
         self.flushed_bytes.add(buf.payload_bytes)
+        if self.auto:
+            self._auto_flushes += 1
+            if (len(buf.subops) >= self.max_ops
+                    or buf.payload_bytes >= self.max_bytes):
+                self._auto_trips += 1
+            self._auto_ops += len(buf.subops)
+            self._auto_bytes += buf.payload_bytes
+            if self._auto_flushes >= AUTO_ADJUST_EVERY:
+                self._auto_adjust()
         trace_parent = None
         tracer = tracer_of(self.sim)
         if tracer is not None:
@@ -149,6 +255,24 @@ class OpCoalescer:
             buf.rank, buf.part, buf.subops, buf.payload_bytes,
             trace_parent=trace_parent,
         )
+        op_futs = buf.futures
+        if op_futs is not None and any(f is not None for f in op_futs):
+
+            def _distribute(bf, futs=op_futs):
+                # Settle each rider from its slot of the batch result — at
+                # the batch's settle instant, before the kernel pops the
+                # flush future's own event.
+                if bf._ok:
+                    results = bf._value
+                    for i, f in enumerate(futs):
+                        if f is not None:
+                            f._complete(results[i])
+                else:
+                    for f in futs:
+                        if f is not None:
+                            f._error(bf._value)
+
+            fut._on_settle(_distribute)
         inflight = self._inflight.setdefault(key, [])
         inflight.append(fut)
 
@@ -162,6 +286,52 @@ class OpCoalescer:
 
         fut._event.add_callback(_settled)
         return fut
+
+    # -- self-tuning threshold -------------------------------------------------
+    def _auto_adjust(self) -> None:
+        """Re-derive ``max_ops`` from the last window of flush efficiency.
+
+        Dense traffic (threshold-tripped flushes running at capacity) doubles
+        the threshold so more ops amortize each SEND — until the Table-I
+        model says the fixed per-flush overhead is already below
+        ``AUTO_OVERHEAD_FRACTION`` of the payload's own wire/marshal time,
+        at which point bigger batches only add latency.  Sparse traffic
+        (drain-dominated flushes far below capacity) halves it back toward
+        ``AUTO_FLOOR`` so ops stop waiting for company that never comes.
+        """
+        flushes = self._auto_flushes
+        trips_frac = self._auto_trips / flushes
+        mean_ops = self._auto_ops / flushes
+        mean_op_bytes = (self._auto_bytes / self._auto_ops
+                        if self._auto_ops else 0.0)
+        self._auto_flushes = 0
+        self._auto_trips = 0
+        self._auto_ops = 0
+        self._auto_bytes = 0
+        new = self.max_ops
+        if trips_frac >= 0.5 and mean_ops >= 0.5 * self.max_ops:
+            # Batches are filling: grow while the fixed overhead still
+            # dominates the per-op cost at the current threshold.
+            per_op_floor = self._wire_cost(mean_op_bytes)
+            if per_op_floor > 0:
+                model_cap = self._fixed_overhead / (
+                    AUTO_OVERHEAD_FRACTION * per_op_floor
+                )
+            else:
+                model_cap = AUTO_HARD_CAP
+            cap = min(AUTO_HARD_CAP, model_cap)
+            if self.max_ops < cap:
+                # Saturated windows (every flush threshold-tripped) grow
+                # 4x so a dense storm converges in a few windows; mixed
+                # windows step 2x.
+                factor = 4 if trips_frac >= 0.9 else 2
+                new = min(int(cap), self.max_ops * factor)
+        elif trips_frac <= 0.25 and mean_ops <= max(2.0, self.max_ops / 4.0):
+            new = max(AUTO_FLOOR, self.max_ops // 2)
+        if new != self.max_ops:
+            self.max_ops = new
+            self.auto_gauge.set(new)
+            self._auto_gauge_shared.set(new)
 
     # -- sync points ----------------------------------------------------------
     def pending_for(self, node_id: int, part_index: Optional[int] = None) -> int:
@@ -221,7 +391,7 @@ class OpCoalescer:
     def report(self) -> Dict[str, float]:
         flushes = self.flushes.value
         ops = self.flushed_ops.value
-        return {
+        out = {
             "flushes": int(flushes),
             "flushed_ops": int(ops),
             "flushed_bytes": int(self.flushed_bytes.value),
@@ -230,6 +400,10 @@ class OpCoalescer:
             "ops_per_flush": (ops / flushes) if flushes else 0.0,
             "pending_ops": self.pending_total(),
         }
+        if self.auto:
+            out["auto"] = True
+            out["auto_threshold"] = self.max_ops
+        return out
 
 
 class _Miss:

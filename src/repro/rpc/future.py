@@ -4,9 +4,24 @@
 wait operations) ... providing synchronous and asynchronous models is a
 matter of timing when the caller waits for the future object."
 
-An :class:`RPCFuture` wraps the kernel event that fires when the response
-has been pulled.  ``yield fut.wait()`` blocks the calling process;
-``fut.done`` polls; ``fut.then(fn)`` chains a local continuation.
+An :class:`RPCFuture` settles when the response has been pulled.  ``yield
+fut.wait()`` blocks the calling process; ``fut.done`` polls; ``fut.then(fn)``
+/ ``fut.catch(fn)`` chain local continuations promise-style.
+
+The kernel :class:`Event` backing ``wait()`` is materialized lazily: a
+fire-and-forget pipelined op whose caller only ever chains callbacks never
+allocates an Event or pushes a settle entry through the scheduler lanes.
+Waiters and ``_event`` consumers see the exact semantics the eager event
+gave them — a pending wait parks on a real pending Event that the settle
+path triggers through the kernel, and a wait attached after settling gets a
+``sim.completed_event`` (immediate resume, synchronous ``add_callback``).
+
+Chained callbacks registered via ``then``/``catch`` run synchronously at
+settle time (or immediately when chaining onto an already-settled future).
+That immediacy is what fixes post-run chains: building ``f.then(a).then(b)``
+after the simulation has drained used to strand ``b``'s future on an event
+the kernel would never process, silently swallowing ``a``'s exception —
+now the chain settles inline and the error surfaces at ``.result``.
 """
 
 from __future__ import annotations
@@ -75,28 +90,85 @@ class TargetUnavailable(NodeDownError):
 class RPCFuture:
     """Handle to an in-flight invocation."""
 
-    __slots__ = ("sim", "op", "_event", "issued_at", "completed_at")
+    __slots__ = ("sim", "op", "issued_at", "completed_at",
+                 "_value", "_ok", "_settled", "_callbacks", "_ev")
 
     def __init__(self, sim: Simulator, op: str):
         self.sim = sim
         self.op = op
-        self._event = Event(sim)
         self.issued_at = sim.now
         self.completed_at: Optional[float] = None
+        self._value: Any = None
+        self._ok = True
+        self._settled = False
+        self._callbacks: Optional[list] = None
+        self._ev: Optional[Event] = None
 
     # -- producer side ----------------------------------------------------------
     def _complete(self, value: Any) -> None:
-        self.completed_at = self.sim.now
-        self._event.succeed(value)
+        self._settle(value, True)
 
     def _error(self, exc: BaseException) -> None:
+        self._settle(exc, False)
+
+    def _settle(self, value: Any, ok: bool) -> None:
+        if self._settled:
+            raise RuntimeError(f"RPC future {self.op!r} already settled")
         self.completed_at = self.sim.now
-        self._event.fail(exc)
+        self._value = value
+        self._ok = ok
+        self._settled = True
+        ev = self._ev
+        if ev is not None:
+            # Someone is waiting on the kernel event: route the settle
+            # through the scheduler exactly as the eager design did.
+            if ok:
+                ev.succeed(value)
+            else:
+                ev.fail(value)
+        cbs = self._callbacks
+        if cbs:
+            self._callbacks = None
+            for cb in cbs:
+                cb(self)
+
+    def _on_settle(self, cb: Callable[["RPCFuture"], None]) -> None:
+        """Run ``cb(self)`` when settled — immediately if already settled.
+
+        Runs synchronously inside the producer's settle (no kernel event),
+        so it observes the exact completion instant.  This is the hook the
+        window layer and per-op batch distribution ride.
+        """
+        if self._settled:
+            cb(self)
+        elif self._callbacks is None:
+            self._callbacks = [cb]
+        else:
+            self._callbacks.append(cb)
 
     # -- consumer side -------------------------------------------------------------
     @property
+    def _event(self) -> Event:
+        """The kernel event backing ``wait()``, materialized on demand."""
+        ev = self._ev
+        if ev is None:
+            if self._settled:
+                ev = self.sim.completed_event(self._value, ok=self._ok)
+            else:
+                ev = Event(self.sim)
+            self._ev = ev
+        return ev
+
+    @property
     def done(self) -> bool:
-        return self._event.triggered
+        return self._settled
+
+    @property
+    def ok(self) -> bool:
+        """Whether the settled future holds a value (vs an error)."""
+        if not self._settled:
+            raise RuntimeError(f"RPC {self.op!r} not complete; yield wait() first")
+        return self._ok
 
     def wait(self) -> Event:
         """The event to ``yield`` on; its value is the RPC result."""
@@ -104,11 +176,11 @@ class RPCFuture:
 
     @property
     def result(self) -> Any:
-        if not self.done:
+        if not self._settled:
             raise RuntimeError(f"RPC {self.op!r} not complete; yield wait() first")
-        if not self._event.ok:
-            raise self._event.value
-        return self._event.value
+        if not self._ok:
+            raise self._value
+        return self._value
 
     @property
     def latency(self) -> float:
@@ -117,19 +189,42 @@ class RPCFuture:
         return self.completed_at - self.issued_at
 
     def then(self, fn: Callable[[Any], Any]) -> "RPCFuture":
-        """Chain a local continuation; returns a new future of ``fn(result)``."""
-        nxt = RPCFuture(self.sim, f"{self.op}+then")
+        """Chain a local continuation; returns a new future of ``fn(result)``.
 
-        def on_done(ev: Event) -> None:
-            if not ev.ok:
-                nxt._error(ev.value)
+        An error — from this future or raised inside ``fn`` — propagates to
+        the returned future (and onward through further ``then`` links) until
+        a ``catch`` handles it or ``.result`` re-raises it.
+        """
+        return self._chain(fn, None, "+then")
+
+    def catch(self, fn: Callable[[BaseException], Any]) -> "RPCFuture":
+        """Chain an error handler; returns a recovered future.
+
+        On failure the returned future settles with ``fn(exc)`` (or fails
+        with whatever ``fn`` raises); on success the value passes through
+        untouched.
+        """
+        return self._chain(None, fn, "+catch")
+
+    def _chain(self, on_value, on_error, suffix: str) -> "RPCFuture":
+        nxt = RPCFuture(self.sim, f"{self.op}{suffix}")
+
+        def deliver(src: "RPCFuture") -> None:
+            if src._ok:
+                fn = on_value
+            else:
+                fn = on_error
+            if fn is None:
+                nxt._settle(src._value, src._ok)
                 return
             try:
-                nxt._complete(fn(ev.value))
+                out = fn(src._value)
             except BaseException as err:
-                nxt._error(err)
+                nxt._settle(err, False)
+            else:
+                nxt._settle(out, True)
 
-        self._event.add_callback(on_done)
+        self._on_settle(deliver)
         return nxt
 
     def __repr__(self) -> str:  # pragma: no cover

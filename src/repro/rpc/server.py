@@ -41,7 +41,7 @@ class RpcRequest:
     """In-flight request, carried as SEND payload through the fabric."""
 
     __slots__ = ("op", "args", "src_node", "slot", "response_size_hint",
-                 "callbacks", "token", "trace")
+                 "callbacks", "token", "trace", "arrived_at")
 
     def __init__(self, op, args, src_node, slot, response_size_hint=0,
                  callbacks=None, token=None, trace=None):
@@ -58,6 +58,9 @@ class RpcRequest:
         #: ``None`` when tracing is off — this is how the op id rides the
         #: envelope so the server can hang its stage spans off the client's
         self.trace = trace
+        #: sim time this request entered the target's receive queue (stamped
+        #: by the server's admission hook); feeds the queue-wait histogram
+        self.arrived_at: Optional[float] = None
 
 
 class RpcContext:
@@ -132,8 +135,13 @@ class RpcServer:
         self.shed = metrics.counter(f"rpc{node.node_id}/shed")
         #: cluster-wide rollup all servers of one sim share
         self.shed_total = metrics.counter("serving/shed")
-        if queue_bound is not None:
-            node.nic.admission = self._admit
+        #: time from receive-queue arrival to execution start — the
+        #: congestion signal the client-side AIMD windows react to
+        self.queue_wait = metrics.histogram(f"rpc{node.node_id}/queue_wait")
+        # The admission hook is always installed: it stamps arrival times
+        # for the queue-wait histogram, and additionally sheds at the
+        # receive-queue bound when one is configured.
+        node.nic.admission = self._admit
         self._stopped = False
         n_workers = workers if workers is not None else 2 * self.cost.nic_cores
         for i in range(n_workers):
@@ -165,9 +173,12 @@ class RpcServer:
 
     # -- admission control ------------------------------------------------------
     def _admit(self, msg) -> bool:
-        """Bounded-receive-queue load shedding (installed as ``nic.admission``).
+        """Arrival stamping + bounded-receive-queue load shedding.
 
-        Admit while fewer than ``queue_bound`` requests wait; once the queue
+        Installed as ``nic.admission`` on every server.  Admitted RoR
+        requests get their receive-queue arrival time stamped (the
+        queue-wait histogram's start mark).  With ``queue_bound`` set,
+        admit while fewer than ``queue_bound`` requests wait; once the queue
         is exactly full, shed: deposit a retriable ``shed`` envelope in the
         request's response slot and signal its completion immediately —
         without executing the handler, so a shed op has no side effects.
@@ -175,11 +186,13 @@ class RpcServer:
         same idempotency token is a fresh request, not a replay, and
         executes normally once the queue has room.
         """
-        if len(self.node.nic.recv_queue) < self.queue_bound:
-            return True
         req = msg.payload
         if not isinstance(req, RpcRequest):
             return True  # only RoR requests are governed by the bound
+        if (self.queue_bound is None
+                or len(self.node.nic.recv_queue) < self.queue_bound):
+            req.arrived_at = self.sim.now
+            return True
         completion = self._completions.pop(req.slot, None)
         if completion is None:
             # A duplicated delivery of an already-settled invocation (fault
@@ -241,6 +254,9 @@ class RpcServer:
 
     def _execute(self, req: RpcRequest):
         t0 = self.sim.now
+        if req.arrived_at is not None:
+            self.queue_wait.observe(t0 - req.arrived_at)
+            req.arrived_at = None  # duplicates re-stamp on their own arrival
         if req.token is not None:
             cached = self._dedup.get(req.token)
             if cached is _IN_FLIGHT:

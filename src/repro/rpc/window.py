@@ -1,0 +1,212 @@
+"""AIMD outstanding-op windows for pipelined RPC issue.
+
+Mercury-style extreme-scale RPC stacks hide latency by keeping a *bounded*
+number of operations in flight per destination: enough to pipeline the
+wire, few enough not to overrun the server's bounded receive queue.  This
+module provides that bound as a self-tuning congestion window, TCP-style:
+
+* **Additive increase** — every completion that arrives under the latency
+  target (a Vegas-style multiple of the smallest latency this window has
+  observed) grows the window by ``additive / cwnd``, i.e. roughly one op
+  per window's worth of completions.
+* **Multiplicative decrease** — a :class:`~repro.rpc.future.ServerOverloaded`
+  shed, a transport failure, or a completion far above the latency target
+  halves the window (never below ``floor``).  Decreases are guarded by a
+  recovery epoch: at most one halving per in-flight window of launches, so
+  a burst of sheds from the same overload event does not collapse the
+  window to the floor in one step.
+* **Shed retry** — shed operations are re-issued by the window itself after
+  a capped exponential backoff, as fresh attempts (a pinned idempotency
+  token is preserved; an auto-assigned one is re-drawn per attempt).  After
+  ``max_shed_retries`` the shed surfaces to the caller.
+
+Windows are keyed per ``(dst_node, stream)``; containers pass the target
+partition index as the stream so each partition's pipeline adapts
+independently (the per-(node, partition) window of the paper's aggregation
+discussion).  Every window exports an ``rpc/cwnd/...`` gauge, and stalls
+(ops queued because the window was full) count into ``rpc/window_stalls``.
+
+All state derives from simulated quantities only — latencies, sheds, and
+kernel timestamps — so window trajectories are bit-deterministic for a
+given seed regardless of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.obs.registry import registry_of
+
+__all__ = ["WindowConfig", "AIMDWindow", "WindowSet"]
+
+#: sentinel latency before any completion has been observed
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Knobs for the per-(node, stream) AIMD congestion window."""
+
+    #: initial window (ops in flight before any adaptation)
+    initial: int = 4
+    #: hard lower bound — 1 guarantees progress (never deadlocks)
+    floor: int = 1
+    #: hard upper bound on the window
+    cap: int = 256
+    #: additive-increase numerator (ops per window of good completions)
+    additive: float = 1.0
+    #: halve when a completion exceeds ``latency_factor * base_latency``
+    latency_factor: float = 4.0
+    #: first shed-retry backoff (sim seconds), doubled per retry
+    shed_backoff: float = 20e-6
+    #: cap on the shed-retry backoff
+    shed_backoff_max: float = 320e-6
+    #: shed retries absorbed by the window before surfacing to the caller
+    max_shed_retries: int = 64
+
+    def __post_init__(self):
+        if self.floor < 1:
+            raise ValueError(f"window floor must be >= 1, got {self.floor}")
+        if self.initial < self.floor or self.cap < self.initial:
+            raise ValueError(
+                f"need floor <= initial <= cap, got "
+                f"{self.floor}/{self.initial}/{self.cap}"
+            )
+
+
+class AIMDWindow:
+    """One congestion window: bounded launches + AIMD adaptation."""
+
+    __slots__ = (
+        "sim", "cfg", "cwnd", "outstanding", "base_latency",
+        "_queue", "_launch_seq", "_recover_until",
+        "gauge", "stalls", "sheds", "retries",
+    )
+
+    def __init__(self, sim, cfg: WindowConfig, gauge, stalls, sheds, retries):
+        self.sim = sim
+        self.cfg = cfg
+        self.cwnd = float(cfg.initial)
+        self.outstanding = 0
+        self.base_latency = _INF
+        #: deferred launch closures, FIFO
+        self._queue: deque = deque()
+        self._launch_seq = 0
+        self._recover_until = 0
+        self.gauge = gauge
+        self.stalls = stalls
+        self.sheds = sheds
+        self.retries = retries
+        gauge.set(self.cwnd)
+
+    # -- launch side ---------------------------------------------------------
+    def submit(self, launch: Callable[[int], None]) -> None:
+        """Run ``launch(seq)`` now if the window has room, else queue it."""
+        if self.outstanding < int(self.cwnd):
+            self._launch(launch)
+        else:
+            self.stalls.add(1)
+            self._queue.append(launch)
+
+    def _launch(self, launch) -> None:
+        self.outstanding += 1
+        self._launch_seq += 1
+        launch(self._launch_seq)
+
+    def _pump(self) -> None:
+        while self._queue and self.outstanding < int(self.cwnd):
+            self._launch(self._queue.popleft())
+
+    # -- feedback side -------------------------------------------------------
+    def completed(self, seq: int, latency: float) -> None:
+        """A launch finished successfully after ``latency`` sim-seconds."""
+        self.outstanding -= 1
+        if latency < self.base_latency:
+            self.base_latency = latency
+        if (self.base_latency is _INF
+                or latency <= self.cfg.latency_factor * self.base_latency):
+            if self.cwnd < self.cfg.cap:
+                self.cwnd = min(
+                    self.cfg.cap,
+                    self.cwnd + self.cfg.additive / max(1.0, self.cwnd),
+                )
+        else:
+            self._decrease(seq)
+        self.gauge.set(self.cwnd)
+        self._pump()
+
+    def shed(self, seq: int) -> None:
+        """The launch was shed by admission control."""
+        self.outstanding -= 1
+        self.sheds.add(1)
+        self._decrease(seq)
+        self.gauge.set(self.cwnd)
+        self._pump()
+
+    def failed(self, seq: int) -> None:
+        """The launch failed for a non-shed reason (timeout, crash, ...)."""
+        self.outstanding -= 1
+        self._decrease(seq)
+        self.gauge.set(self.cwnd)
+        self._pump()
+
+    def _decrease(self, seq: int) -> None:
+        # Recovery-epoch guard: halve at most once per in-flight window —
+        # losses from launches issued before the previous decrease carry no
+        # new information about the post-decrease rate.
+        if seq <= self._recover_until:
+            return
+        self._recover_until = self._launch_seq
+        self.cwnd = max(float(self.cfg.floor), self.cwnd / 2.0)
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<AIMDWindow cwnd={self.cwnd:.2f} out={self.outstanding} "
+                f"queued={len(self._queue)}>")
+
+
+class WindowSet:
+    """Per-client collection of windows keyed by ``(dst_node, stream)``."""
+
+    __slots__ = ("sim", "cfg", "src_node", "_windows",
+                 "stalls", "sheds", "retries", "_metrics")
+
+    def __init__(self, sim, src_node: int, cfg: WindowConfig):
+        self.sim = sim
+        self.cfg = cfg
+        self.src_node = src_node
+        self._windows: Dict[Tuple[int, Optional[int]], AIMDWindow] = {}
+        metrics = registry_of(sim)
+        self._metrics = metrics
+        # Cluster-wide adaptive-state counters (shared across clients).
+        self.stalls = metrics.counter("rpc/window_stalls")
+        self.sheds = metrics.counter("rpc/window_sheds")
+        self.retries = metrics.counter("rpc/window_retries")
+
+    def window(self, dst_node: int, stream: Optional[int]) -> AIMDWindow:
+        key = (dst_node, stream)
+        win = self._windows.get(key)
+        if win is None:
+            label = "-" if stream is None else str(stream)
+            gauge = self._metrics.gauge(
+                f"rpc/cwnd/n{self.src_node}-n{dst_node}s{label}"
+            )
+            win = AIMDWindow(self.sim, self.cfg, gauge,
+                             self.stalls, self.sheds, self.retries)
+            self._windows[key] = win
+        return win
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current window sizes, keyed like the gauges."""
+        out = {}
+        for (dst, stream), win in sorted(
+                self._windows.items(),
+                key=lambda kv: (kv[0][0], -1 if kv[0][1] is None else kv[0][1])):
+            label = "-" if stream is None else str(stream)
+            out[f"n{self.src_node}-n{dst}s{label}"] = win.cwnd
+        return out

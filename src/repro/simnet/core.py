@@ -523,6 +523,23 @@ class Simulator:
             return pool.pop()
         return Event(self)
 
+    def completed_event(self, value: Any = None, ok: bool = True) -> Event:
+        """An event that is already processed, carrying ``value``.
+
+        Yielding it resumes the process immediately (the kernel's
+        already-fired kick path) and ``add_callback`` runs synchronously —
+        without ever touching the scheduling lanes.  Lets consumers attach
+        to results that settled in an earlier kernel iteration, or after
+        the run has drained, with no extra queue traffic.
+        """
+        if not ok and not isinstance(value, BaseException):
+            raise TypeError("completed_event(ok=False) requires an exception")
+        ev = Event(self)
+        ev._value = value
+        ev._ok = ok
+        ev._state = _PROCESSED
+        return ev
+
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")

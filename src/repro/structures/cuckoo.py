@@ -31,6 +31,15 @@ _EMPTY = None
 _GOLDEN64 = 0x9E3779B97F4A7C15
 _MASK64 = (1 << 64) - 1
 
+# Preallocated charge profiles for the two upsert hit paths — the
+# overwhelming majority of an upsert storm, where per-op dataclass
+# construction is measurable wall time.  Callers only ever *read* an
+# OpStats once a structure op has returned it (accumulation goes through
+# merge/absorb into a separate object), which is what makes sharing safe;
+# never mutate one of these.
+_UPSERT_HIT_T0 = OpStats(local_ops=3, reads=2, writes=1, cas_ops=1)
+_UPSERT_HIT_T1 = OpStats(local_ops=6, reads=2, writes=1, cas_ops=1)
+
 
 def _hash1(key: Hashable) -> int:
     return hash(key) & _MASK64
@@ -65,15 +74,28 @@ class CuckooHash:
         self._t1: List[Optional[Tuple[Hashable, Any]]] = [_EMPTY] * half
         self._count = 0
         self._hash_fn = hash_fn
+        # Cap-independent hash bases memoized per key: a custom hash_fn
+        # (e.g. the containers' stable_hash) costs real host time per call
+        # and upsert storms rehash the same keys constantly.  Purely a
+        # host-side cache — charged OpStats never count hashing.
+        self._base_memo: Optional[dict] = {} if hash_fn is not None else None
         self._locks = [threading.Lock() for _ in range(self.LOCK_STRIPES)]
         self._resize_lock = threading.Lock()
         self._orphan: Optional[Tuple[Hashable, Any]] = None
         self.resizes = 0
 
     # -- hashing ---------------------------------------------------------------
+    def _base(self, key: Hashable) -> int:
+        """Memoized ``hash_fn(key) & MASK`` (cap-independent, resize-safe)."""
+        memo = self._base_memo
+        base = memo.get(key)
+        if base is None:
+            base = memo[key] = self._hash_fn(key) & _MASK64
+        return base
+
     def _h(self, key: Hashable, table: int) -> int:
-        if self._hash_fn is not None:
-            base = self._hash_fn(key) & _MASK64
+        if self._base_memo is not None:
+            base = self._base(key)
             h = base if table == 0 else ((base * _GOLDEN64) & _MASK64) ^ (base >> 31)
         else:
             h = _hash1(key) if table == 0 else _hash2(key)
@@ -114,6 +136,57 @@ class CuckooHash:
         _v, found, stats = self.find(key)
         return found, stats
 
+    def upsert(self, key: Hashable, delta: Any) -> Tuple[Any, OpStats]:
+        """Fused read-modify-write: add ``delta`` to the stored value (0 when
+        absent) and return ``(new_value, stats)``.
+
+        The charged :class:`OpStats` are exactly those of a ``find(key)``
+        followed by ``insert(key, new_value)`` — the fusion only avoids the
+        redundant host-side hashing and probing of the two-call sequence,
+        never simulated work, so timelines are bit-identical either way.
+        """
+        cap = self._cap
+        if self._base_memo is not None:
+            base = self._base(key)
+            i0 = base % cap
+            i1 = ((((base * _GOLDEN64) & _MASK64) ^ (base >> 31))) % cap
+        else:
+            i0 = _hash1(key) % cap
+            i1 = _hash2(key) % cap
+        t0, t1 = self._t0, self._t1
+        slot = t0[i0]
+        if slot is not _EMPTY and slot[0] == key:
+            # find: t0 hit (L1 R1); insert's find: t0 hit (L1 R1);
+            # overwrite probe: t0 hit (L1 CAS1 W1).
+            new = slot[1] + delta
+            t0[i0] = (key, new)
+            return new, _UPSERT_HIT_T0
+        slot = t1[i1]
+        if slot is not _EMPTY and slot[0] == key:
+            # find: t0 miss, t1 hit (L2 R1); insert's find: same;
+            # overwrite probes t0 then t1 (L2 CAS1 W1).
+            new = slot[1] + delta
+            t1[i1] = (key, new)
+            return new, _UPSERT_HIT_T1
+        # Absent.  Empty-slot placement inline: find miss (L2) + insert's
+        # find miss (L2) + overwrite probes (L2), then one CAS+W into the
+        # first free slot — the same charges ``_try_insert`` accrues.
+        if t0[i0] is _EMPTY:
+            t0[i0] = (key, delta)
+        elif t1[i1] is _EMPTY:
+            t1[i1] = (key, delta)
+        else:
+            # Both slots taken by other keys: kick chains and resizes stay
+            # on the real insert path (mirroring only the find miss, L2).
+            _new, stats = self.insert(key, delta)
+            stats.local_ops += 2
+            return delta, stats
+        stats = OpStats(local_ops=6, writes=1, cas_ops=1)
+        self._count += 1
+        if self._count / (2 * cap) > self.LOAD_FACTOR:
+            self._resize(stats)
+        return delta, stats
+
     def insert(self, key: Hashable, value: Any) -> Tuple[bool, OpStats]:
         """Insert or overwrite.  Returns ``(inserted_new, stats)``.
 
@@ -121,9 +194,7 @@ class CuckooHash:
         (kept accurate even across a mid-operation resize, where the resize
         re-count already includes the key placed by a failed kick chain).
         """
-        stats = OpStats()
-        _v, was_present, probe_stats = self.find(key)
-        stats = stats.merge(probe_stats)
+        _v, was_present, stats = self.find(key)
         while True:
             done, new = self._try_insert(key, value, stats)
             if done:

@@ -11,6 +11,7 @@ import pytest
 
 from benchmarks.check_regression import (
     compare_agg,
+    compare_async,
     compare_kernel,
     compare_serving,
     main,
@@ -41,6 +42,10 @@ class TestCommittedBaselinesAreGreen:
     def test_serving(self):
         rep = _load("BENCH_serving.json")
         assert compare_serving(rep, rep) == []
+
+    def test_async(self):
+        rep = _load("BENCH_async.json")
+        assert compare_async(rep, rep) == []
 
     def test_cli_green_on_committed(self, tmp_path):
         src = REPO_ROOT / "BENCH_serving.json"
@@ -93,4 +98,33 @@ class TestRegressionsAreFlagged:
         other = copy.deepcopy(base)
         other["clients"] = base["clients"] * 10
         failures = compare_serving(other, base)
+        assert failures and all("not comparable" in f for f in failures)
+
+    def test_async_speedup_drop_and_queue_wait_rise(self):
+        base = _load("BENCH_async.json")
+        metric = "sim" if base["sim_only"] else "wall"
+        worse = copy.deepcopy(base)
+        worse["summary"][f"async_{metric}_speedup"] *= 0.5
+        assert any("speedup" in f for f in compare_async(worse, base))
+        slower = copy.deepcopy(base)
+        slower["summary"]["queue_wait_p99_async"] *= 2.0
+        assert any("queue_wait_p99" in f
+                   for f in compare_async(slower, base))
+        detuned = copy.deepcopy(base)
+        detuned["summary"]["auto_vs_best_static"] *= 2.0
+        assert any("auto_vs_best_static" in f
+                   for f in compare_async(detuned, base))
+
+    def test_async_digest_divergence_and_topology_mismatch(self):
+        base = _load("BENCH_async.json")
+        forked = copy.deepcopy(base)
+        forked["rows"][0]["digest"] = "deadbeef"
+        assert any("diverged" in f for f in compare_async(forked, base))
+        unverified = copy.deepcopy(base)
+        unverified["rows"][0]["verified"] = False
+        assert any("verification" in f
+                   for f in compare_async(unverified, base))
+        moved = copy.deepcopy(base)
+        moved["nodes"] = base["nodes"] * 2
+        failures = compare_async(moved, base)
         assert failures and all("not comparable" in f for f in failures)

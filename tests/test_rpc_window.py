@@ -1,0 +1,248 @@
+"""AIMD congestion windows on the pipelined RPC issue path.
+
+Covers the window's control law (additive increase, epoch-guarded halving,
+the floor-of-1 progress guarantee), the windowed ``invoke`` (shed retry
+with correct idempotency-token semantics, stall accounting) and the
+bit-determinism of window trajectories across reruns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ares_like
+from repro.fabric import Cluster
+from repro.obs.registry import registry_of
+from repro.rpc import RpcClient, RpcServer
+from repro.rpc.future import ServerOverloaded
+from repro.rpc.window import AIMDWindow, WindowConfig, WindowSet
+from repro.simnet import Simulator
+
+
+def _window(sim, **kw) -> AIMDWindow:
+    cfg = WindowConfig(**kw)
+    metrics = registry_of(sim)
+    return AIMDWindow(
+        sim, cfg, metrics.gauge("rpc/cwnd/test"),
+        metrics.counter("rpc/window_stalls"),
+        metrics.counter("rpc/window_sheds"),
+        metrics.counter("rpc/window_retries"),
+    )
+
+
+class TestWindowConfig:
+    def test_floor_below_one_rejected(self):
+        with pytest.raises(ValueError, match="floor"):
+            WindowConfig(floor=0)
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            WindowConfig(initial=2, floor=4)
+        with pytest.raises(ValueError):
+            WindowConfig(initial=16, cap=8)
+
+
+class TestControlLaw:
+    def test_additive_increase_under_target(self):
+        win = _window(Simulator(), initial=4)
+        for seq in range(1, 9):
+            win._launch_seq = seq
+            win.outstanding = 1
+            win.completed(seq, latency=1e-6)
+        assert win.cwnd > 4.0
+        # ~ additive ops per window of completions, not per completion
+        assert win.cwnd < 4.0 + 8
+
+    def test_capped_at_cap(self):
+        win = _window(Simulator(), initial=4, cap=5)
+        for seq in range(1, 50):
+            win._launch_seq = seq
+            win.outstanding = 1
+            win.completed(seq, latency=1e-6)
+        assert win.cwnd == 5.0
+
+    def test_shed_halves(self):
+        win = _window(Simulator(), initial=16)
+        win._launch_seq = 1
+        win.outstanding = 1
+        win.shed(1)
+        assert win.cwnd == 8.0
+
+    def test_latency_spike_halves(self):
+        win = _window(Simulator(), initial=16, latency_factor=4.0)
+        win._launch_seq = 2
+        win.outstanding = 2
+        win.completed(1, latency=1e-6)   # establishes base latency
+        win.completed(2, latency=1e-3)   # >> 4x base
+        assert win.cwnd < 16.0
+
+    def test_sustained_sheds_hit_floor_of_one(self):
+        """The floor guarantees progress: never 0, never negative."""
+        win = _window(Simulator(), initial=64, floor=1)
+        for seq in range(1, 40):
+            win._launch_seq = seq  # new launch epoch -> decrease allowed
+            win.outstanding = 1
+            win.shed(seq)
+        assert win.cwnd == 1.0
+        # ...and a window of 1 still launches.
+        ran = []
+        win.submit(lambda seq: ran.append(seq))
+        assert ran
+
+    def test_recovery_epoch_absorbs_shed_burst(self):
+        """Sheds of launches from one in-flight window halve once, not N."""
+        win = _window(Simulator(), initial=16)
+        win._launch_seq = 8          # 8 launches in flight
+        win.outstanding = 8
+        for seq in range(1, 9):      # every one of them sheds
+            win.shed(seq)
+        assert win.cwnd == 8.0       # one halving, not 16 / 2**8
+
+
+class TestSubmitQueue:
+    def test_full_window_queues_and_counts_stall(self):
+        sim = Simulator()
+        win = _window(sim, initial=1)
+        order = []
+        win.submit(lambda seq: order.append(("a", seq)))
+        win.submit(lambda seq: order.append(("b", seq)))  # window full
+        assert order == [("a", 1)]
+        assert win.queued == 1
+        assert registry_of(sim).counter("rpc/window_stalls").value == 1
+        win.completed(1, latency=1e-6)  # frees a slot -> pump
+        assert order == [("a", 1), ("b", 2)]
+        assert win.queued == 0
+
+
+class TestWindowSet:
+    def test_keyed_per_node_and_stream(self, sim):
+        ws = WindowSet(sim, src_node=0, cfg=WindowConfig())
+        a = ws.window(1, 0)
+        assert ws.window(1, 0) is a
+        assert ws.window(1, 1) is not a
+        assert ws.window(2, 0) is not a
+        snap = ws.snapshot()
+        assert set(snap) == {"n0-n1s0", "n0-n1s1", "n0-n2s0"}
+        assert all(v == 4.0 for v in snap.values())
+
+    def test_gauges_exported(self, sim):
+        ws = WindowSet(sim, src_node=3, cfg=WindowConfig())
+        ws.window(1, 2).completed(1, 1e-6)
+        gauge = registry_of(sim).gauge("rpc/cwnd/n3-n1s2")
+        assert gauge.value == ws.window(1, 2).cwnd
+
+
+def _shed_rig(initial=8, queue_bound=1, **cfg_kw):
+    """2 nodes; node 1 serves with one worker and a tiny receive queue."""
+    spec = ares_like(nodes=2, procs_per_node=4, seed=7)
+    cluster = Cluster(spec)
+    servers = {
+        0: RpcServer(cluster.node(0)),
+        1: RpcServer(cluster.node(1), workers=1, queue_bound=queue_bound),
+    }
+    client = RpcClient(cluster, 0, servers,
+                       window=WindowConfig(initial=initial, **cfg_kw))
+
+    def slow(ctx, i):
+        yield ctx.sim.timeout(40e-6)
+        return i
+
+    servers[1].bind("slow", slow)
+    return cluster, servers, client
+
+
+class TestWindowedInvoke:
+    def test_same_result_as_direct(self, small_spec):
+        cluster = Cluster(small_spec)
+        servers = {i: RpcServer(cluster.node(i)) for i in range(2)}
+        client = RpcClient(cluster, 0, servers, window=WindowConfig())
+        servers[1].bind("echo", lambda ctx, x: x * 2)
+        fut = client.invoke(1, "echo", (21,), stream=0)
+        cluster.run()
+        assert fut.result == 42
+
+    def test_storm_sheds_shrink_window_without_deadlock(self):
+        cluster, _servers, client = _shed_rig()
+        futs = [client.invoke(1, "slow", (i,), stream=0) for i in range(40)]
+        cluster.run()
+        assert [f.result for f in futs] == list(range(40))
+        metrics = registry_of(cluster.sim)
+        assert metrics.counter("rpc/window_sheds").value > 0
+        assert metrics.counter("rpc/window_retries").value > 0
+        assert metrics.counter("rpc/window_stalls").value > 0
+        win = client.windows.window(1, 0)
+        assert win.cwnd < 8.0          # shrank under overload...
+        assert win.cwnd >= 1.0         # ...but never below the floor
+        assert win.outstanding == 0 and win.queued == 0
+
+    def test_shed_surfaces_after_retry_budget(self):
+        cluster, _servers, client = _shed_rig(max_shed_retries=1)
+        futs = [client.invoke(1, "slow", (i,), stream=0) for i in range(40)]
+        cluster.run()
+        failed = [f for f in futs if not f.ok]
+        assert failed, "retry budget of 1 should leave surfaced sheds"
+        with pytest.raises(ServerOverloaded):
+            _ = failed[0].result
+
+    def test_pinned_token_rides_every_attempt(self, monkeypatch):
+        cluster, _servers, client = _shed_rig()
+        seen = []
+        direct = RpcClient._invoke_direct
+
+        def spy(self, dst, op, args=(), payload_size=None, callbacks=None,
+                token=None, trace_parent=None, fused=False):
+            seen.append(token)
+            return direct(self, dst, op, args, payload_size, callbacks,
+                          token, trace_parent, fused)
+
+        monkeypatch.setattr(RpcClient, "_invoke_direct", spy)
+        futs = [client.invoke(1, "slow", (i,), stream=0, token=(0, 100 + i))
+                for i in range(20)]
+        cluster.run()
+        for f in futs:
+            assert f.ok
+        assert len(seen) > 20, "sheds should have forced extra attempts"
+        # A pinned token is preserved verbatim on every attempt.
+        assert set(seen) == {(0, 100 + i) for i in range(20)}
+
+    def test_auto_tokens_never_reused_across_attempts(self, monkeypatch):
+        """Auto tokens defer to the hardened path's per-attempt draw: the
+        window never replays a previously drawn token on a fresh attempt."""
+        cluster, _servers, client = _shed_rig()
+        seen = []
+        direct = RpcClient._invoke_direct
+
+        def spy(self, dst, op, args=(), payload_size=None, callbacks=None,
+                token=None, trace_parent=None, fused=False):
+            seen.append(token)
+            return direct(self, dst, op, args, payload_size, callbacks,
+                          token, trace_parent, fused)
+
+        monkeypatch.setattr(RpcClient, "_invoke_direct", spy)
+        futs = [client.invoke(1, "slow", (i,), stream=0) for i in range(20)]
+        cluster.run()
+        for f in futs:
+            assert f.ok
+        assert len(seen) > 20
+        assert all(t is None for t in seen)
+
+
+class TestDeterminism:
+    def _trajectory(self):
+        cluster, _servers, client = _shed_rig()
+        futs = [client.invoke(1, "slow", (i,), stream=i % 2)
+                for i in range(60)]
+        cluster.run()
+        for f in futs:
+            assert f.ok
+        metrics = registry_of(cluster.sim)
+        return (
+            client.windows.snapshot(),
+            cluster.sim.now,
+            metrics.counter("rpc/window_stalls").value,
+            metrics.counter("rpc/window_sheds").value,
+            metrics.counter("rpc/window_retries").value,
+        )
+
+    def test_same_seed_same_window_trajectory(self):
+        assert self._trajectory() == self._trajectory()

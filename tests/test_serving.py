@@ -16,6 +16,7 @@ from repro.harness.serving import (
     run_serving,
 )
 from repro.rpc import RpcClient, RpcServer, ServerOverloaded
+from repro.rpc.server import RpcRequest
 
 
 class TestZipfKeyGenerator:
@@ -169,11 +170,21 @@ class TestLoadShedding:
         assert calls == ["a"]
         assert servers[1].duplicates_suppressed.value == 1
 
-    def test_unbounded_server_installs_no_admission_hook(self, small_spec):
+    def test_unbounded_server_hook_stamps_but_never_sheds(self, small_spec):
+        # The admission hook is always installed now (it stamps arrival
+        # times for the queue-wait histogram), but with no queue_bound it
+        # must admit everything.
         cluster = Cluster(small_spec)
         server = RpcServer(cluster.node(0))
         assert server.queue_bound is None
-        assert cluster.node(0).nic.admission is None
+        assert cluster.node(0).nic.admission is not None
+
+        class _Msg:
+            payload = RpcRequest("op", (), 0, 0)
+
+        assert cluster.node(0).nic.admit(_Msg()) is True
+        assert _Msg.payload.arrived_at == cluster.sim.now
+        assert server.shed.value == 0
 
     def test_queue_bound_validation(self, small_spec):
         cluster = Cluster(small_spec)

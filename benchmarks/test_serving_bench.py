@@ -28,9 +28,35 @@ SMOKE = dict(nodes=4, procs_per_node=4, clients=500, tenants=4, theta=0.99,
 CLIFF_FACTOR = 3.0
 
 
+def _monitor_lines(sink) -> str:
+    """Skew + burn-rate rows for the bench report, one line per config."""
+    lines = []
+    for entry in sink:
+        bound = "off" if entry["queue_bound"] is None else entry["queue_bound"]
+        skew = entry["flight"]["skew"]
+        slo = entry["flight"]["slo"]
+        parts = "  ".join(f"{p['partition']} {p['share']:.1%}"
+                          for p in skew["top_partitions"][:3])
+        key = skew["top_keys"][0]
+        lines.append(
+            f"  monitors[{bound}]: imbalance {skew['imbalance']:.2f} "
+            f"(cv {skew['cv']:.2f}); top partitions {parts}; "
+            f"hot key {key['key']} x{key['count']} (err {key['error']}); "
+            f"{skew['hot_events']} hot-partition event(s), "
+            f"{slo['alerts']} SLO alert(s) in {slo['ticks']} ticks"
+        )
+    return "\n".join(lines)
+
+
 @pytest.mark.benchmark(group="serving")
 def test_serving_overload_cliff(benchmark, report):
-    rep = run_once(benchmark, lambda: run_serving(**SMOKE))
+    # Monitors armed: the observability stack (flight recorder + skew
+    # detector + burn-rate SLO monitor) is pure observation, so the report
+    # is identical with it on (tests/test_serving.py asserts that
+    # byte-for-byte) and the sink gives the bench its skew/alert rows.
+    sink = []
+    rep = run_once(benchmark, lambda: run_serving(
+        **SMOKE, monitors=True, monitors_sink=sink))
     failures = check_serving(rep, require_cliff=True,
                              cliff_factor=CLIFF_FACTOR)
     cliff = rep["cliff"]
@@ -38,7 +64,8 @@ def test_serving_overload_cliff(benchmark, report):
         render_serving(rep)
         + f"\n  unbounded p99 {cliff['p99_shedding_off'] * 1e6:.0f}us vs "
           f"shed {cliff['p99_shedding_on'] * 1e6:.0f}us "
-          f"({cliff['p99_ratio']:.1f}x; floor {CLIFF_FACTOR}x)"
+          f"({cliff['p99_ratio']:.1f}x; floor {CLIFF_FACTOR}x)\n"
+        + _monitor_lines(sink)
     )
     assert not failures, failures
     unbounded, bounded = rep["configs"]
@@ -46,3 +73,10 @@ def test_serving_overload_cliff(benchmark, report):
     assert bounded["shed"] > 0
     assert bounded["shed_gaveup"] == bounded["shed"]  # retries disabled
     assert unbounded["shed"] == 0
+    # One flight per admission-control config, each with live monitors.
+    assert [e["queue_bound"] for e in sink] == list(SMOKE["bounds"])
+    for entry in sink:
+        skew = entry["flight"]["skew"]
+        assert skew["imbalance"] >= 1.0
+        assert skew["top_keys"] and skew["keys_offered"] > 0
+        assert entry["flight"]["slo"]["ticks"] > 0

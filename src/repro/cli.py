@@ -114,15 +114,23 @@ def _cmd_chaos_soak(args) -> int:
     for plan in args.plans:
         box = {}
         instrument = None
-        if args.trace:
+        if args.trace or args.metrics_out or args.flight_recorder:
             def instrument(h, box=box):
-                from repro.obs import install_tracer
+                box["sim"] = h.sim
+                if args.trace:
+                    from repro.obs import install_tracer
 
-                box["sim"] = h.sim
-                install_tracer(h.sim)
-        elif args.metrics_out:
-            def instrument(h, box=box):
-                box["sim"] = h.sim
+                    install_tracer(h.sim)
+                if args.flight_recorder:
+                    from repro.obs import FlightRecorder
+
+                    recorder = FlightRecorder(
+                        h.sim, interval=args.flight_interval,
+                        maxlen=args.flight_maxlen,
+                        select=["faults/", "rpc/", "/ops", "rpcc*"],
+                    )
+                    recorder.install(h.cluster)
+                    box["recorder"] = recorder
         report = run_chaos_soak(
             plan=plan,
             seed=args.seed,
@@ -152,6 +160,12 @@ def _cmd_chaos_soak(args) -> int:
             path = _suffixed(args.metrics_out, suffix)
             n = write_metrics_json(registry_of(box["sim"]), path)
             print(f"wrote {path} ({n} metrics)")
+        if args.flight_recorder and "recorder" in box:
+            recorder = box["recorder"]
+            path = _suffixed(args.flight_recorder, suffix)
+            _write_flight_json(recorder.payload(), path)
+            print(f"wrote {path} ({recorder.samples} samples, "
+                  f"{len(recorder.series)} series)")
         if not report["ok"]:
             worst = 1
     return worst
@@ -365,6 +379,11 @@ def _cmd_asyncbench(args) -> int:
     from repro.harness.asyncbench import emit_async_json, run_async_bench
 
     collector = [] if args.metrics_out else None
+    flight_sink = [] if args.flight_recorder else None
+    flight = None
+    if args.flight_recorder:
+        flight = {"interval": args.flight_interval,
+                  "maxlen": args.flight_maxlen}
     report = run_async_bench(
         scale=args.scale,
         nodes=args.nodes,
@@ -372,6 +391,8 @@ def _cmd_asyncbench(args) -> int:
         repeats=args.repeats,
         sim_only=args.sim_only,
         collector=collector,
+        flight=flight,
+        flight_sink=flight_sink,
     )
     print(render_table(
         f"Async pipeline A/B (scale={args.scale}, "
@@ -406,6 +427,12 @@ def _cmd_asyncbench(args) -> int:
             json.dump(combined, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.metrics_out} ({len(combined)} runs)")
+    if flight_sink:
+        for label, payload in flight_sink:
+            path = _suffixed(args.flight_recorder, label)
+            _write_flight_json(payload, path)
+            print(f"wrote {path} ({payload['samples']} samples, "
+                  f"{len(payload['series'])} series)")
     if args.check:
         failures = report.check(min_speedup=args.min_speedup)
         for failure in failures:
@@ -502,11 +529,26 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _write_flight_json(payload, path: str) -> None:
+    """Write one flight-recorder payload (sorted keys + newline)."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def _cmd_serving(args) -> int:
     from repro.harness.serving import (
         check_serving, emit_serving_json, render_serving, run_serving,
     )
 
+    monitors = None
+    monitors_sink = None
+    if args.flight_recorder:
+        monitors = {"interval": args.flight_interval,
+                    "maxlen": args.flight_maxlen}
+        monitors_sink = []
     report = run_serving(
         nodes=args.nodes,
         procs_per_node=args.procs,
@@ -525,8 +567,24 @@ def _cmd_serving(args) -> int:
         shed_retries=args.shed_retries,
         retry_backoff=args.retry_backoff,
         rpc_batch_size=args.batch,
+        monitors=monitors,
+        monitors_sink=monitors_sink,
     )
     print(render_serving(report))
+    if monitors_sink:
+        for entry in monitors_sink:
+            bound = entry["queue_bound"]
+            label = "off" if bound is None else f"b{bound}"
+            flight = entry["flight"]
+            path = _suffixed(args.flight_recorder, label)
+            _write_flight_json(flight, path)
+            skew = flight["skew"]
+            slo = flight["slo"]
+            top = skew["top_keys"][0]["key"] if skew["top_keys"] else "-"
+            print(f"wrote {path} ({flight['samples']} samples, "
+                  f"{len(flight['series'])} series); skew imbalance "
+                  f"{skew['imbalance']:.2f}, hot key {top}, "
+                  f"{slo['alerts']} SLO alert(s)")
     cliff = report.get("cliff")
     if cliff:
         print(f"  overload cliff: p99 {cliff['p99_shedding_off'] * 1e6:.0f}us "
@@ -543,9 +601,86 @@ def _cmd_serving(args) -> int:
     return 0
 
 
+def _cmd_obs_report(args) -> int:
+    import json
+
+    from repro.obs import (
+        critpath_analyze, load_spans, validate_dashboard, write_dashboard,
+    )
+
+    if args.validate:
+        errors = validate_dashboard(args.validate)
+        if errors:
+            print(f"{args.validate}: INVALID ({len(errors)} error(s))")
+            for err in errors[:20]:
+                print(f"  {err}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: OK")
+        return 0
+
+    if not (args.flight or args.spans or args.metrics):
+        print("obs-report: need at least one of --flight/--spans/--metrics "
+              "(or --validate PATH)", file=sys.stderr)
+        return 2
+
+    flight = None
+    if args.flight:
+        with open(args.flight, encoding="utf-8") as fh:
+            flight = json.load(fh)
+    critpath = None
+    if args.spans:
+        critpath = critpath_analyze(load_spans(args.spans),
+                                    top_n=args.top_traces)
+    metrics = None
+    if args.metrics:
+        with open(args.metrics, encoding="utf-8") as fh:
+            metrics = json.load(fh)
+
+    size = write_dashboard(args.out, flight=flight, critpath=critpath,
+                           metrics=metrics, title=args.title)
+    errors = validate_dashboard(args.out)
+    if errors:
+        print(f"{args.out}: generated but INVALID "
+              f"({len(errors)} error(s))", file=sys.stderr)
+        for err in errors[:20]:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print(f"wrote {args.out} ({size} bytes, valid)")
+
+    if critpath and critpath.get("traces"):
+        overall = critpath["overall"]
+        rows = [[s["stage"], f"{s['total'] * 1e6:.1f}",
+                 f"{100 * s['share']:.1f}%"]
+                for s in overall["stages"]]
+        print(render_table(
+            f"Critical path — {overall['n']} traces, "
+            f"{overall['e2e_total'] * 1e6:.1f}us total e2e",
+            ["stage", "total (us)", "share"], rows,
+        ))
+        slow = critpath.get("slow")
+        if slow and slow.get("n"):
+            dominant = max(slow["stages"], key=lambda s: s["total"])
+            print(f"  p{100 * slow['quantile']:g} tail ({slow['n']} traces "
+                  f">= {slow['threshold'] * 1e6:.1f}us): dominated by "
+                  f"{dominant['stage']} "
+                  f"({100 * dominant['share']:.1f}% of tail e2e)")
+    if flight:
+        skew = flight.get("skew")
+        if skew:
+            print(f"  skew: imbalance {skew['imbalance']:.2f}, "
+                  f"cv {skew['cv']:.2f}, "
+                  f"{skew['hot_events']} hot-partition event(s)")
+        slo = flight.get("slo")
+        if slo:
+            print(f"  slo: {slo['alerts']} alert(s) "
+                  f"over {slo['ticks']} ticks")
+    return 0
+
+
 def _cmd_list(args) -> int:
     print("commands: fig1 fig5 fig6 fig7 sweep microbench kernelbench "
-          "aggbench asyncbench chaos-soak trace telemetry serving list")
+          "aggbench asyncbench chaos-soak trace telemetry serving "
+          "obs-report list")
     print("full asserted reproduction: pytest benchmarks/ --benchmark-only -s")
     return 0
 
@@ -616,6 +751,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="arm per-(node, partition) AIMD congestion windows "
                          "on every client; the report asserts they shrink "
                          "under faults without losing acked writes")
+    pc.add_argument("--flight-recorder", nargs="?",
+                    const="chaos_flight.json", default=None, metavar="PATH",
+                    help="record faults/rpc/partition-op series at a fixed "
+                         "cadence (per-plan suffix when multiple plans)")
+    pc.add_argument("--flight-interval", type=_positive_float, default=1e-4,
+                    help="flight-recorder cadence in sim seconds")
+    pc.add_argument("--flight-maxlen", type=int, default=512,
+                    help="ring-buffer bound per recorded series")
     pc.set_defaults(fn=_cmd_chaos_soak)
 
     p7 = sub.add_parser("fig7", help="application kernels")
@@ -730,6 +873,14 @@ def build_parser() -> argparse.ArgumentParser:
                     default=None, metavar="PATH",
                     help="write per-run metrics snapshots (rpc/cwnd/*, "
                          "rpc/window_stalls, coalesce/auto_threshold)")
+    pb.add_argument("--flight-recorder", nargs="?",
+                    const="async_flight.json", default=None, metavar="PATH",
+                    help="record rpc/coalesce/partition-op series on each "
+                         "row's first repeat (per-row label suffix)")
+    pb.add_argument("--flight-interval", type=_positive_float, default=1e-5,
+                    help="flight-recorder cadence in sim seconds")
+    pb.add_argument("--flight-maxlen", type=int, default=512,
+                    help="ring-buffer bound per recorded series")
     pb.add_argument("--check", action="store_true",
                     help="exit 1 unless async-auto clears --min-speedup "
                          "with identical digests and matches the best "
@@ -823,6 +974,15 @@ def build_parser() -> argparse.ArgumentParser:
     pS.add_argument("--emit", nargs="?", const="BENCH_serving.json",
                     default=None, metavar="PATH",
                     help="write the report (default BENCH_serving.json)")
+    pS.add_argument("--flight-recorder", nargs="?",
+                    const="serving_flight.json", default=None, metavar="PATH",
+                    help="arm the flight recorder + skew/SLO monitors; "
+                         "writes one JSON per bound (PATH_off / PATH_b<N>). "
+                         "Simulated results are unchanged")
+    pS.add_argument("--flight-interval", type=_positive_float, default=2.5e-4,
+                    help="flight-recorder cadence in sim seconds")
+    pS.add_argument("--flight-maxlen", type=int, default=512,
+                    help="ring-buffer bound per recorded series")
     pS.add_argument("--check", action="store_true",
                     help="exit 1 on sanity failures (accounting, SLO keys, "
                          "fairness, starved tenants)")
@@ -831,6 +991,29 @@ def build_parser() -> argparse.ArgumentParser:
                          "the bounded p99")
     pS.add_argument("--cliff-factor", type=_positive_float, default=3.0)
     pS.set_defaults(fn=_cmd_serving)
+
+    pO = sub.add_parser(
+        "obs-report",
+        help="render a self-contained HTML dashboard from flight-recorder "
+             "JSON, span JSONL, and/or metrics snapshots",
+    )
+    pO.add_argument("--flight", default=None, metavar="PATH",
+                    help="flight-recorder JSON (serving --flight-recorder "
+                         "output; includes skew + SLO sections)")
+    pO.add_argument("--spans", default=None, metavar="PATH",
+                    help="span JSONL (trace --export output) for the "
+                         "critical-path analysis")
+    pO.add_argument("--metrics", default=None, metavar="PATH",
+                    help="metrics snapshot JSON (--metrics-out output)")
+    pO.add_argument("-o", "--out", default="obs_report.html", metavar="PATH",
+                    help="dashboard output path (default obs_report.html)")
+    pO.add_argument("--title", default="Observability report")
+    pO.add_argument("--top-traces", type=int, default=5,
+                    help="slowest traces listed in the critical-path table")
+    pO.add_argument("--validate", default=None, metavar="PATH",
+                    help="validate an existing dashboard instead of "
+                         "rendering one (CI mode)")
+    pO.set_defaults(fn=_cmd_obs_report)
 
     pm = sub.add_parser("microbench", help="OSU-style fabric microbenchmarks")
     pm.add_argument("--provider", default="roce",

@@ -86,6 +86,8 @@ class HCL:
         # unbounded issue.
         if window is True:
             window = WindowConfig()
+        elif not window:  # False/None both mean "unbounded issue"
+            window = None
         self.window_config: Optional[WindowConfig] = window
 
     # -- plumbing accessors ----------------------------------------------------

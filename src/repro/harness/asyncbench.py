@@ -187,14 +187,33 @@ class AsyncBenchReport:
         return failures
 
 
-def _run_once(spec, data, aggregation, async_api: bool, window):
-    """One k-mer run; returns (result, sim, p99, stalls, auto_thr)."""
+def _run_once(spec, data, aggregation, async_api: bool, window,
+              flight: Optional[Dict] = None,
+              flight_box: Optional[Dict] = None):
+    """One k-mer run; returns (result, sim, p99, stalls, auto_thr).
+
+    With a ``flight`` options dict the run is driven through a
+    :class:`~repro.obs.series.FlightRecorder` (zero perturbation —
+    identical simulated results); the recorder lands in ``flight_box``.
+    """
     from repro.apps import run_kmer_counting
 
     box: Dict[str, object] = {}
 
     def instrument(hcl):
         box["sim"] = hcl.sim
+        if flight is not None:
+            from repro.obs.series import FlightRecorder
+            recorder = FlightRecorder(
+                hcl.sim,
+                interval=float(flight.get("interval", 1e-3)),
+                maxlen=int(flight.get("maxlen", 512)),
+                select=list(flight.get(
+                    "select", ("rpc/", "/ops", "coalesce/", "rpcc*"))),
+            )
+            recorder.install(hcl.cluster)
+            if flight_box is not None:
+                flight_box["recorder"] = recorder
 
     res = run_kmer_counting(
         "hcl", spec, data, aggregation=aggregation, sim_only=True,
@@ -220,6 +239,8 @@ def run_async_bench(
     repeats: int = 3,
     sim_only: bool = False,
     collector: Optional[List[Tuple[str, object]]] = None,
+    flight: Optional[Dict] = None,
+    flight_sink: Optional[List[Tuple[str, Dict]]] = None,
 ) -> AsyncBenchReport:
     """A/B the pipelined async client against the aggregated sync path.
 
@@ -234,6 +255,12 @@ def run_async_bench(
     row — the CLI exports metrics snapshots (``rpc/cwnd/*``,
     ``rpc/window_stalls``, ``coalesce/auto_threshold``) from those
     simulators.
+
+    ``flight`` (an options dict, or ``{}`` for defaults) arms a
+    zero-perturbation flight recorder on each row's *first* repeat;
+    per-row ``(label, payload)`` pairs land in ``flight_sink``.
+    Recording never changes simulated results — it only adds a little
+    wall overhead to the one recorded repeat.
     """
     from repro.apps import synthesize_genome
 
@@ -254,13 +281,21 @@ def run_async_bench(
         collected = False
         for _ in range(max(1, repeats) if not sim_only else 1):
             spec = ares_like(nodes=nodes, procs_per_node=procs_per_node)
+            flight_box: Dict[str, object] = {}
             t0 = time.perf_counter()
             res, sim, p99, stalls, auto_thr = _run_once(
-                spec, data, aggregation, async_api, window
+                spec, data, aggregation, async_api, window,
+                flight=flight if not collected else None,
+                flight_box=flight_box,
             )
             wall = time.perf_counter() - t0
             if collector is not None and not collected:
                 collector.append((f"{mode}-{aggregation}", sim))
+            if (flight_sink is not None and not collected
+                    and "recorder" in flight_box):
+                flight_sink.append((f"{mode}-{aggregation}",
+                                    flight_box["recorder"].payload()))
+            if not collected:
                 collected = True
             if best_wall is None or wall < best_wall:
                 best_wall = wall

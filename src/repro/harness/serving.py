@@ -57,6 +57,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.config import ares_like
 from repro.core.runtime import HCL
 from repro.obs.registry import SLO_QUANTILES, percentile_summary, registry_of
+from repro.obs.series import FlightRecorder
+from repro.obs.skew import SkewDetector
+from repro.obs.slo import SLOMonitor, SLORule, counter_sli, latency_sli
 from repro.rpc.future import ServerOverloaded
 
 __all__ = [
@@ -66,7 +69,26 @@ __all__ = [
     "render_serving",
     "check_serving",
     "DEFAULT_MIX",
+    "MONITOR_DEFAULTS",
 ]
+
+#: default knobs for ``run_serving(monitors=...)`` — all sim-time scaled
+MONITOR_DEFAULTS: Dict = {
+    "interval": 2.5e-4,        # flight-recorder cadence (sim s)
+    "maxlen": 512,             # ring-buffer bound per series
+    "select": ("serving/", "/ops", "rpc/"),
+    "quantiles": (0.5, 0.99),
+    "hot_factor": 2.0,         # x fair share -> skew.hot_partition
+    "sketch_capacity": 64,
+    "top_k": 5,
+    "availability_target": 0.999,
+    "burn_threshold": 10.0,    # availability fast-burn multiple
+    "latency_slo": 1e-3,       # latency objective (sim s)
+    "latency_target": 0.99,    # <=1% of requests over the objective
+    "latency_burn_threshold": 2.0,
+    "short_windows": 4,        # short burn window, in sampling intervals
+    "long_windows": 16,        # long burn window, in sampling intervals
+}
 
 #: read / write / RMW fractions of the map traffic (YCSB-B-ish)
 DEFAULT_MIX: Tuple[float, float, float] = (0.70, 0.20, 0.10)
@@ -129,6 +151,61 @@ def _jain_fairness(xs: Sequence[float]) -> float:
     return (total * total) / (len(xs) * sum(x * x for x in xs))
 
 
+def _arm_monitors(h: HCL, store, queues, opts: Dict) -> Dict:
+    """Arm the flight recorder + skew detector + SLO monitor on one run.
+
+    Pure observation: the recorder's ``pump`` replaces ``cluster.run``
+    under the zero-perturbation contract, and the per-tick skew/SLO hooks
+    only read registry metrics — a monitored run keeps identical
+    simulated results, which the obs benchmarks assert field-by-field.
+    """
+    cfg = dict(MONITOR_DEFAULTS)
+    cfg.update(opts)
+    sim = h.sim
+    registry = registry_of(sim)
+    interval = float(cfg["interval"])
+    recorder = FlightRecorder(
+        sim, interval=interval, maxlen=int(cfg["maxlen"]),
+        select=list(cfg["select"]), quantiles=tuple(cfg["quantiles"]),
+    )
+    sources = [(p.ops.name, p.node_id) for p in store.partitions]
+    for q in queues:
+        sources.extend((p.ops.name, p.node_id) for p in q.partitions)
+    skew = SkewDetector(
+        registry, sources, hot_factor=float(cfg["hot_factor"]),
+        sketch_capacity=int(cfg["sketch_capacity"]),
+        event_log=recorder.events, top_k=int(cfg["top_k"]),
+    )
+    slo = SLOMonitor(
+        rules=[
+            SLORule(
+                "availability",
+                counter_sli(registry,
+                            bad=("serving/shed_gaveup", "serving/errors"),
+                            total=("serving/completed",)),
+                target=float(cfg["availability_target"]),
+                short_window=cfg["short_windows"] * interval,
+                long_window=cfg["long_windows"] * interval,
+                threshold=float(cfg["burn_threshold"]),
+            ),
+            SLORule(
+                "latency",
+                latency_sli(registry, "serving/latency",
+                            float(cfg["latency_slo"])),
+                target=float(cfg["latency_target"]),
+                short_window=cfg["short_windows"] * interval,
+                long_window=cfg["long_windows"] * interval,
+                threshold=float(cfg["latency_burn_threshold"]),
+            ),
+        ],
+        event_log=recorder.events,
+    )
+    recorder.add_listener(skew.tick)
+    recorder.add_listener(slo.tick)
+    recorder.install(h.cluster)
+    return {"recorder": recorder, "skew": skew, "slo": slo}
+
+
 def _run_one_config(
     nodes: int,
     procs_per_node: int,
@@ -147,6 +224,8 @@ def _run_one_config(
     retry_backoff: float,
     rpc_batch_size: int,
     windows=None,
+    monitors=None,
+    monitors_sink: Optional[List[Dict]] = None,
 ) -> Dict:
     """One full serving run under one admission-control setting."""
     spec = ares_like(nodes=nodes, procs_per_node=procs_per_node, seed=seed)
@@ -180,6 +259,12 @@ def _run_one_config(
     gaveup = metrics.counter("serving/shed_gaveup")
     errors = metrics.counter("serving/errors")
     key_counts: Dict[str, int] = {}
+
+    mon = None
+    if monitors:
+        mon = _arm_monitors(h, store, queues,
+                            monitors if isinstance(monitors, dict) else {})
+    skew_det = mon["skew"] if mon is not None else None
 
     read_cut, write_cut = mix[0], mix[0] + mix[1]
 
@@ -245,6 +330,8 @@ def _run_one_config(
                 continue
             key = gens[tenant].sample()
             key_counts[key] = key_counts.get(key, 0) + 1
+            if skew_det is not None:  # heap-only bookkeeping, no sim events
+                skew_det.offer_key(key)
             v = rng.random()
             if v < read_cut:
                 issue(lambda r=rank, k=key: store.async_find(r, k),
@@ -304,6 +391,11 @@ def _run_one_config(
         "top_key_share": (max(key_counts.values()) / total_keyed
                           if total_keyed else 0.0),
     }
+    if mon is not None and monitors_sink is not None:
+        flight = mon["recorder"].payload()
+        flight["skew"] = mon["skew"].summary()
+        flight["slo"] = mon["slo"].summary()
+        monitors_sink.append({"queue_bound": queue_bound, "flight": flight})
     h.close()
     return row
 
@@ -326,6 +418,8 @@ def run_serving(
     retry_backoff: float = 1e-3,
     rpc_batch_size: int = 1,
     windows=None,
+    monitors=None,
+    monitors_sink: Optional[List[Dict]] = None,
 ) -> Dict:
     """Run the serving bench once per admission-control bound; return the
     report dict (simulated/deterministic fields only — no wall clock).
@@ -333,7 +427,15 @@ def run_serving(
     ``windows`` arms per-(node, partition) AIMD congestion windows on the
     issue path (``True`` for defaults, or a
     :class:`~repro.rpc.window.WindowConfig`); shed ops are then retried by
-    the window itself before the harness-level backoff sees them."""
+    the window itself before the harness-level backoff sees them.
+
+    ``monitors`` arms the observability stack per config (``True`` for
+    :data:`MONITOR_DEFAULTS`, or a dict of overrides): flight recorder,
+    skew detector and SLO burn-rate monitor.  Monitoring never changes
+    the report — simulated results are identical with monitors on or off
+    — so per-config flight payloads (series + events + skew/slo
+    summaries) are appended to the caller's ``monitors_sink`` list
+    instead of the report dict."""
     if not 0.999 <= sum(mix) <= 1.001:
         raise ValueError(f"mix must sum to 1.0, got {mix}")
     if not 0.0 <= queue_frac < 1.0:
@@ -347,6 +449,7 @@ def run_serving(
             nodes, procs_per_node, clients, tenants, theta, keys, mix,
             queue_frac, queue_home, rate, ops_per_client, seed, bound,
             shed_retries, retry_backoff, rpc_batch_size, windows,
+            monitors, monitors_sink,
         )
         for bound in bounds
     ]

@@ -38,6 +38,16 @@ from repro.obs.exporters import (
     write_metrics_json,
     write_span_jsonl,
 )
+from repro.obs.series import FlightRecorder, select_matches
+from repro.obs.skew import SkewDetector, SpaceSavingSketch
+from repro.obs.slo import SLOMonitor, SLORule, counter_sli, latency_sli
+from repro.obs.critpath import analyze as critpath_analyze
+from repro.obs.critpath import load_spans
+from repro.obs.report import (
+    render_dashboard,
+    validate_dashboard,
+    write_dashboard,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -59,4 +69,17 @@ __all__ = [
     "write_chrome_trace",
     "write_metrics_json",
     "write_span_jsonl",
+    "FlightRecorder",
+    "select_matches",
+    "SkewDetector",
+    "SpaceSavingSketch",
+    "SLOMonitor",
+    "SLORule",
+    "counter_sli",
+    "latency_sli",
+    "critpath_analyze",
+    "load_spans",
+    "render_dashboard",
+    "validate_dashboard",
+    "write_dashboard",
 ]

@@ -88,6 +88,23 @@ _SIM_ATTR = "_obs_metrics"
 Metric = Union[Counter, Gauge, Histogram]
 
 
+def _suffix_matches(name: str, suffix: str) -> bool:
+    """True when ``suffix`` matches ``name`` at a name-component boundary.
+
+    Rollup suffixes address trailing ``/``-separated components, not raw
+    character tails: ``"retries"`` matches ``"rpcc0/retries"`` and a
+    metric literally named ``"retries"``, but must *not* silently absorb
+    ``"rpc/window_retries"``.  A suffix that already starts with ``/``
+    (the idiomatic ``"/retries"`` form) is boundary-anchored by
+    construction.
+    """
+    if not name.endswith(suffix):
+        return False
+    if len(name) == len(suffix) or suffix.startswith("/"):
+        return True
+    return name[-len(suffix) - 1] == "/"
+
+
 class MetricsRegistry:
     """Namespaced, lazily-created metric factory for one simulation."""
 
@@ -141,11 +158,15 @@ class MetricsRegistry:
         The fleet-wide rollup: per-node metrics share a suffix
         (``rpcc0/retries``, ``rpcc1/retries``, ... -> ``/retries``), so a
         chaos or bench report can total them without holding references
-        to every client/server object.
+        to every client/server object.  Suffixes match whole trailing
+        name components only (``"retries"`` never totals
+        ``window_retries``); prefixes stay plain ``startswith`` so
+        instance-numbered families (``rpcc`` -> ``rpcc0/...``) keep
+        rolling up.
         """
         total = 0.0
         for name, metric in self._metrics.items():
-            if not name.endswith(suffix):
+            if not _suffix_matches(name, suffix):
                 continue
             if prefix and not name.startswith(prefix):
                 continue
@@ -163,7 +184,7 @@ class MetricsRegistry:
         """
         merged = Histogram(f"{prefix}*{suffix}")
         for name in sorted(self._metrics):
-            if not name.endswith(suffix):
+            if not _suffix_matches(name, suffix):
                 continue
             if prefix and not name.startswith(prefix):
                 continue

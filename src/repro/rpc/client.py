@@ -141,7 +141,7 @@ class RpcClient:
             )
         return self._invoke_direct(
             dst_node, op, args, payload_size, callbacks, token,
-            trace_parent, fused,
+            trace_parent, fused, stream,
         )
 
     def _invoke_windowed(self, dst_node, op, args, payload_size, callbacks,
@@ -163,7 +163,7 @@ class RpcClient:
         def launch(seq):
             inner = self._invoke_direct(
                 dst_node, op, args, payload_size, callbacks, token,
-                trace_parent, fused,
+                trace_parent, fused, stream,
             )
             issued = self.sim.now
 
@@ -205,6 +205,7 @@ class RpcClient:
         token: Optional[Tuple[int, int]] = None,
         trace_parent=None,
         fused: bool = False,
+        stream: Optional[int] = None,
     ) -> RPCFuture:
         """One unwindowed attempt (the classic invoke body)."""
         server = self.servers.get(dst_node)
@@ -226,9 +227,12 @@ class RpcClient:
         size += _REQUEST_HEADER_BYTES
         tracer = tracer_of(self.sim)
         if tracer is not None:
+            attrs = {"dst": dst_node, "bytes": size}
+            if stream is not None:
+                attrs["stream"] = stream
             req.trace = tracer.begin(
                 f"rpc.{op}", parent=trace_parent, node=self.src_node,
-                attrs={"dst": dst_node, "bytes": size},
+                attrs=attrs,
             )
         self.invocations.add(1)
         self.sim.process(

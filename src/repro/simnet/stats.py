@@ -151,6 +151,25 @@ class Histogram:
         """Named quantiles (``{"p50": ..., "p90": ..., "p99": ...}``)."""
         return {f"p{100 * q:g}": self.quantile(q) for q in qs}
 
+    def count_above(self, threshold: float) -> int:
+        """Samples whose bucket lies entirely above ``threshold``.
+
+        The latency-SLI primitive: "how many requests exceeded the
+        objective".  Log2 buckets only know sample counts per
+        ``[2**b, 2**(b+1))`` range, so this counts buckets whose *lower*
+        edge is >= ``threshold`` — a conservative (under-)estimate that is
+        exact whenever ``threshold`` is a bucket boundary.
+        """
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if self.n == 0 or (self.max is not None and self.max < threshold):
+            return 0
+        return sum(
+            count
+            for bucket, count in self.counts.items()
+            if bucket != -64 and 2.0 ** bucket >= threshold
+        )
+
     def merge(self, other: "Histogram") -> "Histogram":
         """Fold ``other``'s samples into this histogram (bucket-exact).
 

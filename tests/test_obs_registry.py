@@ -73,6 +73,33 @@ class TestSumMatching:
         reg.histogram("n2/mem").observe(99.0)  # no scalar value: excluded
         assert reg.sum_matching("/mem") == 10.0
 
+    def test_suffix_anchored_at_component_boundary(self):
+        """``retries`` must not swallow ``window_retries`` (or vice versa)."""
+        reg = MetricsRegistry()
+        reg.counter("rpcc0/retries").add(2)
+        reg.counter("rpc/window_retries").add(9)
+        assert reg.sum_matching("retries") == 2.0
+        assert reg.sum_matching("window_retries") == 9.0
+        # A slash-led suffix is already anchored; exact names still match.
+        assert reg.sum_matching("/window_retries") == 9.0
+        assert reg.sum_matching("rpc/window_retries") == 9.0
+
+    def test_bare_name_matches_whole_component(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").add(1)
+        reg.counter("a/ops").add(4)
+        reg.counter("a/drops").add(16)  # 'ops' is a substring, not a component
+        assert reg.sum_matching("ops") == 5.0
+
+    def test_merged_histogram_component_anchored(self):
+        reg = MetricsRegistry()
+        reg.histogram("rpcc0/latency").observe(1.0)
+        reg.histogram("rpcc1/latency").observe(2.0)
+        reg.histogram("x/tail_latency").observe(512.0)
+        merged = reg.merged_histogram("latency")
+        assert merged.n == 2
+        assert merged.max == 2.0  # tail_latency excluded
+
 
 class TestSnapshot:
     def test_shapes(self):

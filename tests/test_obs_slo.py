@@ -1,0 +1,170 @@
+"""Tests for multi-window burn-rate SLO monitoring."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry, SLOMonitor, SLORule, counter_sli, latency_sli,
+)
+from repro.simnet import EventLog
+from repro.simnet.stats import Histogram
+
+
+class TestSLIProbes:
+    def test_counter_sli_adds_bad_back_into_total(self):
+        reg = MetricsRegistry()
+        reg.counter("s/errors").add(2)
+        reg.counter("s/gaveup").add(3)
+        reg.counter("s/completed").add(95)
+        probe = counter_sli(reg, bad=("s/errors", "s/gaveup"),
+                            total=("s/completed",))
+        assert probe() == (5.0, 100.0)
+
+    def test_counter_sli_tolerates_missing_counters(self):
+        probe = counter_sli(MetricsRegistry(), bad=("nope",), total=("nada",))
+        assert probe() == (0.0, 0.0)
+
+    def test_latency_sli_counts_over_threshold(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (0.5, 1.0, 2.0, 4.0, 8.0):
+            h.observe(v)
+        probe = latency_sli(reg, "lat", 2.0)
+        assert probe() == (3.0, 5.0)  # 2.0, 4.0, 8.0
+
+    def test_latency_sli_missing_histogram(self):
+        probe = latency_sli(MetricsRegistry(), "lat", 1.0)
+        assert probe() == (0.0, 0.0)
+
+
+class TestHistogramCountAbove:
+    def test_bucket_boundary_exact(self):
+        h = Histogram("h")
+        for v in (0.5, 1.0, 2.0, 4.0, 8.0):
+            h.observe(v)
+        assert h.count_above(2.0) == 3
+        assert h.count_above(0.0) == 5
+        assert h.count_above(100.0) == 0
+
+    def test_zeros_excluded(self):
+        h = Histogram("h")
+        h.observe(0.0)
+        h.observe(4.0)
+        assert h.count_above(1.0) == 1
+
+    def test_empty_and_validation(self):
+        h = Histogram("h")
+        assert h.count_above(1.0) == 0
+        with pytest.raises(ValueError):
+            h.count_above(-1.0)
+
+
+def _scripted_rule(fractions, threshold=10.0, target=0.999,
+                   short=2.0, long=4.0):
+    """A rule fed a scripted cumulative (bad, total) trajectory."""
+    state = {"bad": 0.0, "total": 0.0, "i": 0}
+
+    def sli():
+        return state["bad"], state["total"]
+
+    rule = SLORule("r", sli, target=target, short_window=short,
+                   long_window=long, threshold=threshold)
+
+    def advance(bad, total):
+        state["bad"] += bad
+        state["total"] += total
+
+    return rule, advance
+
+
+class TestSLORule:
+    def test_validation(self):
+        sli = lambda: (0.0, 0.0)
+        with pytest.raises(ValueError):
+            SLORule("r", sli, target=1.0, short_window=1, long_window=2)
+        with pytest.raises(ValueError):
+            SLORule("r", sli, target=0.9, short_window=0, long_window=2)
+        with pytest.raises(ValueError):
+            SLORule("r", sli, target=0.9, short_window=4, long_window=2)
+        with pytest.raises(ValueError):
+            SLORule("r", sli, target=0.9, short_window=1, long_window=2,
+                    threshold=0)
+
+    def test_burn_math(self):
+        """2% bad on a 0.1% budget = burn 20 in both windows."""
+        rule, advance = _scripted_rule(None)
+        rule.observe(0.0)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            advance(bad=2.0, total=100.0)
+            state = rule.observe(t)
+        assert state["short_burn"] == pytest.approx(0.02 / 0.001)
+        assert state["long_burn"] == pytest.approx(0.02 / 0.001)
+        assert state["breach"]
+
+    def test_short_blip_does_not_breach_long_window(self):
+        """A single bad tick after a long clean stretch: short window
+        burns hot but the long window holds the alert back."""
+        rule, advance = _scripted_rule(None, threshold=10.0,
+                                       short=1.0, long=8.0)
+        rule.observe(0.0)
+        for t in range(1, 9):
+            advance(bad=0.0, total=100.0)
+            rule.observe(float(t))
+        advance(bad=3.0, total=100.0)  # one 3%-bad tick
+        state = rule.observe(9.0)
+        assert state["short_burn"] >= 10.0
+        assert state["long_burn"] < 10.0
+        assert not state["breach"]
+
+    def test_no_traffic_means_no_burn(self):
+        rule, _advance = _scripted_rule(None)
+        for t in (0.0, 1.0, 2.0):
+            state = rule.observe(t)
+        assert state["short_burn"] == 0.0 and not state["breach"]
+
+    def test_history_trimmed_to_long_window(self):
+        rule, advance = _scripted_rule(None, short=1.0, long=3.0)
+        for t in range(50):
+            advance(bad=0.0, total=10.0)
+            rule.observe(float(t))
+        # One sample older than the cutoff is kept as the delta base.
+        assert len(rule._history) <= 6
+
+
+class TestSLOMonitor:
+    def test_alerts_edge_triggered_with_clear(self, sim):
+        rule, advance = _scripted_rule(None, threshold=5.0,
+                                       short=1.0, long=2.0)
+        log = EventLog(sim)
+        mon = SLOMonitor([rule], event_log=log)
+        mon.tick(0.0)
+        # Two hot ticks (2% bad, burn 20): alert once.
+        for t in (1.0, 2.0):
+            advance(bad=2.0, total=100.0)
+            mon.tick(t)
+        # Recovery: clean ticks push both windows under threshold.
+        for t in (3.0, 4.0, 5.0):
+            advance(bad=0.0, total=100.0)
+            mon.tick(t)
+        kinds = [kind for _t, kind, _p in log.entries]
+        assert kinds == ["slo.alert", "slo.clear"]
+        assert len(mon.alerts) == 1
+        assert mon.alerts[0]["rule"] == "r"
+        summary = mon.summary()
+        assert summary["alerts"] == 1
+        assert summary["rules"][0]["alerts"] == 1
+        assert summary["rules"][0]["firing"] is False
+
+    def test_deterministic_alert_stream(self, sim):
+        def run():
+            rule, advance = _scripted_rule(None, threshold=5.0,
+                                           short=1.0, long=2.0)
+            log = EventLog(sim)
+            mon = SLOMonitor([rule], event_log=log)
+            script = [(0.0, 0.0), (2.0, 100.0), (2.0, 100.0),
+                      (0.0, 100.0), (5.0, 100.0), (0.0, 100.0)]
+            for t, (bad, total) in enumerate(script):
+                advance(bad, total)
+                mon.tick(float(t))
+            return [(t, kind, p) for t, kind, p in log.entries]
+
+        assert run() == run()

@@ -204,3 +204,99 @@ class TestExporters:
             fh.write(json.dumps({"trace_id": 1}) + "\n")
         errors = validate_span_log(path)
         assert any("missing required" in e for e in errors)
+
+
+class TestWindowedPath:
+    """Tiling under the AIMD-windowed client: shed retries relaunch whole
+    attempts, so every attempt's root span must still tile exactly."""
+
+    @pytest.fixture(scope="class")
+    def windowed_tracer(self):
+        from repro.fabric import Cluster
+        from repro.rpc import RpcClient, RpcServer
+        from repro.rpc.window import WindowConfig
+
+        spec = ares_like(nodes=2, procs_per_node=4, seed=7)
+        cluster = Cluster(spec)
+        tracer = install_tracer(cluster.sim)
+        servers = {
+            0: RpcServer(cluster.node(0)),
+            1: RpcServer(cluster.node(1), workers=1, queue_bound=1),
+        }
+        client = RpcClient(cluster, 0, servers,
+                           window=WindowConfig(initial=8))
+
+        def slow(ctx, i):
+            yield ctx.sim.timeout(40e-6)
+            return i
+
+        servers[1].bind("slow", slow)
+        futs = [client.invoke(1, "slow", (i,), stream=i % 2)
+                for i in range(24)]
+        cluster.run()
+        for f in futs:
+            assert f.ok
+        assert client.windows.window(1, 0).sheds.value > 0, \
+            "rig must provoke shed retries"
+        return tracer
+
+    def test_every_attempt_root_tiles_exactly(self, windowed_tracer):
+        roots = _rpc_roots(windowed_tracer)
+        # Sheds force extra attempts: more roots than the 24 logical ops.
+        assert len(roots) > 24
+        for root in roots:
+            stages = windowed_tracer.stage_children(root)
+            assert stages, f"root {root.name} has no stage spans"
+            total = sum(s.duration for s in stages)
+            assert total == pytest.approx(root.duration, rel=1e-9,
+                                          abs=1e-15)
+
+    def test_stage_sum_equals_root_sum_fleet_wide(self, windowed_tracer):
+        """Cluster-wide: STAGE_NAMES durations partition total RPC time."""
+        stage_total = sum(s.duration for s in windowed_tracer.spans
+                          if s.name in STAGE_NAMES)
+        root_total = sum(s.duration for s in _rpc_roots(windowed_tracer))
+        assert stage_total == pytest.approx(root_total, rel=1e-9)
+
+    def test_roots_carry_stream_attr(self, windowed_tracer):
+        streams = {s.attrs.get("stream") for s in _rpc_roots(windowed_tracer)}
+        assert streams == {0, 1}
+
+    def test_critpath_grouping_sees_streams(self, windowed_tracer):
+        from repro.obs import critpath_analyze
+
+        result = critpath_analyze(windowed_tracer)
+        assert result["tiling_max_residual"] == pytest.approx(0.0,
+                                                              abs=1e-12)
+        keys = {(g["dst"], g["stream"]) for g in result["groups"]}
+        assert keys == {(1, 0), (1, 1)}
+
+
+class TestAsyncCoalescedPath:
+    def test_auto_coalescer_traced_run_tiles(self):
+        """The async-futures path (auto coalescer + windows) keeps tiling:
+        coalesce.buffer spans parent batch RPC roots and windowed retries
+        relaunch whole attempts, and every root still tiles exactly."""
+        from repro.apps import run_kmer_counting, synthesize_genome
+
+        data = synthesize_genome(genome_length=240, num_reads=24,
+                                 read_length=60, k=15, seed=3)
+        box = {}
+
+        def instrument(hcl):
+            box["tracer"] = install_tracer(hcl.sim)
+
+        res = run_kmer_counting(
+            "hcl", ares_like(nodes=2, procs_per_node=2), data,
+            aggregation="auto", sim_only=True, async_api=True,
+            window=True, instrument=instrument,
+        )
+        assert res.verified
+        tracer = box["tracer"]
+        roots = _rpc_roots(tracer)
+        assert roots
+        assert any(s.name == "coalesce.buffer" for s in tracer.spans)
+        for root in roots:
+            total = sum(s.duration for s in tracer.stage_children(root))
+            assert total == pytest.approx(root.duration, rel=1e-9,
+                                          abs=1e-15)

@@ -272,3 +272,70 @@ class TestServingRuntimeWiring:
                        for n in range(2))
         finally:
             h.close()
+
+
+class TestServingMonitors:
+    """Monitors-on runs must keep identical simulated results."""
+
+    @pytest.fixture(scope="class")
+    def monitored(self):
+        sink = []
+        report = run_serving(**TINY, monitors=True, monitors_sink=sink)
+        return report, sink
+
+    def test_report_identical_with_monitors_on(self, monitored):
+        import json
+
+        report, _sink = monitored
+        plain = run_serving(**TINY)
+        assert json.dumps(report, sort_keys=True) == json.dumps(
+            plain, sort_keys=True)
+
+    def test_sink_holds_one_flight_per_bound(self, monitored):
+        _report, sink = monitored
+        assert [e["queue_bound"] for e in sink] == list(TINY["bounds"])
+        for entry in sink:
+            flight = entry["flight"]
+            assert flight["kind"] == "flight_recorder"
+            assert flight["samples"] > 0
+            assert flight["series"]
+            assert "skew" in flight and "slo" in flight
+
+    def test_skew_section_covers_all_partitions(self, monitored):
+        _report, sink = monitored
+        skew = sink[0]["flight"]["skew"]
+        assert skew["partitions"] > 0
+        assert skew["total_ops"] > 0
+        assert skew["keys_offered"] > 0
+        assert skew["top_keys"], "Zipf workload must surface hot keys"
+        assert skew["imbalance"] >= 1.0
+
+    def test_hot_keys_match_workload_ground_truth(self, monitored):
+        """The sketch's #1 key share equals the report's exact
+        ``top_key_share`` (computed from full per-key counts)."""
+        report, sink = monitored
+        skew = sink[0]["flight"]["skew"]
+        top = skew["top_keys"][0]
+        assert top["error"] == 0  # namespace fits: counts are exact
+        assert top["count"] / skew["keys_offered"] == pytest.approx(
+            report["configs"][0]["top_key_share"])
+
+    def test_monitor_option_overrides(self):
+        sink = []
+        run_serving(**TINY, monitors={"interval": 1e-3, "maxlen": 7},
+                    monitors_sink=sink)
+        flight = sink[0]["flight"]
+        assert flight["interval"] == 1e-3
+        assert flight["maxlen"] == 7
+        assert all(len(s["times"]) <= 7
+                   for s in flight["series"].values())
+
+    def test_flight_payload_deterministic(self):
+        import json
+
+        def one():
+            sink = []
+            run_serving(**TINY, monitors=True, monitors_sink=sink)
+            return json.dumps([e["flight"] for e in sink], sort_keys=True)
+
+        assert one() == one()

@@ -188,6 +188,49 @@ class TestTimeSeriesEdges:
         assert rate.rows() == [(2.0, 20.0)]
 
 
+class TestTimeSeriesRing:
+    def test_maxlen_keeps_newest(self):
+        ts = TimeSeries("ring", maxlen=3)
+        for i in range(5):
+            ts.record(float(i), float(i * 10))
+        assert ts.rows() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+        assert ts.dropped == 2
+
+    def test_unbounded_by_default(self):
+        ts = TimeSeries()
+        for i in range(100):
+            ts.record(float(i), 1.0)
+        assert len(ts.rows()) == 100 and ts.dropped == 0
+
+    def test_reductions_see_retained_window_only(self):
+        ts = TimeSeries(maxlen=2)
+        ts.record(0.0, 100.0)  # evicted
+        ts.record(1.0, 1.0)
+        ts.record(2.0, 3.0)
+        assert ts.mean() == 2.0
+        assert ts.max() == 3.0
+
+    def test_rate_series_name_and_maxlen(self):
+        ts = TimeSeries("nic/bytes", maxlen=4)
+        for i in range(3):
+            ts.record(float(i), float(i * 8))
+        rate = ts.rate_series()
+        assert rate.name == "nic/bytes/rate"
+        assert rate.maxlen == 4
+        assert rate.rows() == [(1.0, 8.0), (2.0, 8.0)]
+
+    def test_anonymous_rate_series_name(self):
+        assert TimeSeries().rate_series().name == "rate"
+
+    def test_rate_over_ring_window(self):
+        """Rates derive from the retained samples, not the full history."""
+        ts = TimeSeries(maxlen=2)
+        for i in range(6):
+            ts.record(float(i), float(i * i))
+        # Retained: (4, 16), (5, 25) -> one rate point.
+        assert ts.rate_series().rows() == [(5.0, 9.0)]
+
+
 class TestEventLogBound:
     def test_unbounded_by_default(self, sim):
         log = EventLog(sim)

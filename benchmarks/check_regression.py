@@ -23,21 +23,32 @@ more than ``--tolerance`` (default 15%):
   windows protect), and the auto-tuned-vs-best-static ratio (lower is
   better).  Every fresh row must verify with a single shared digest.
 
+Every check is evaluated structurally (``evaluate_*`` return per-check
+records; ``compare_*`` keep the historical list-of-failure-strings
+surface).  ``--json PATH`` writes the machine-readable verdict.  On a
+failing gate the differential forensics engine (``repro.obs.diff``) is
+run on the same two files automatically and its markdown report printed
+(and written next to ``--forensics-out``), so the failure ships its own
+root-cause fingerprint; the exit code is unchanged by forensics.
+
 Usage::
 
     python benchmarks/check_regression.py --kind serving \
-        --fresh /tmp/BENCH_serving.json --baseline BENCH_serving.json
+        --fresh /tmp/BENCH_serving.json --baseline BENCH_serving.json \
+        --json verdict.json --forensics-out forensics
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 __all__ = ["compare_kernel", "compare_agg", "compare_serving",
-           "compare_async", "main"]
+           "compare_async", "evaluate_kernel", "evaluate_agg",
+           "evaluate_serving", "evaluate_async", "main"]
 
 DEFAULT_TOLERANCE = 0.15
 
@@ -64,124 +75,183 @@ def _fmt(name: str, fresh: float, base: float) -> str:
     return f"{name}: {fresh:.6g} vs baseline {base:.6g} ({delta:+.1f}%)"
 
 
-def compare_kernel(fresh: Dict, baseline: Dict,
-                   tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
-    failures: List[str] = []
-    f, b = fresh["events_per_sec"], baseline["events_per_sec"]
-    if _worse(f, b, tolerance):
-        failures.append(_fmt("kernel events_per_sec", f, b))
-    if fresh.get("events_processed") != baseline.get("events_processed"):
-        failures.append(
-            "kernel workload shape changed: events_processed "
-            f"{fresh.get('events_processed')} vs "
-            f"{baseline.get('events_processed')}"
-        )
-    return failures
+def _metric_check(name: str, fresh: float, base: float, tolerance: float,
+                  higher_is_better: bool = True) -> Dict:
+    """One tracked-metric record (always emitted, pass or fail)."""
+    bad = _worse(fresh, base, tolerance, higher_is_better)
+    return {
+        "metric": name,
+        "kind": "metric",
+        "ok": not bad,
+        "fresh": fresh,
+        "base": base,
+        "tolerance": tolerance,
+        "higher_is_better": higher_is_better,
+        "message": _fmt(name, fresh, base) if bad else "",
+    }
 
 
-def compare_agg(fresh: Dict, baseline: Dict,
-                tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
-    failures: List[str] = []
+def _shape_check(name: str, ok: bool, message: str,
+                 kind: str = "comparability") -> Dict:
+    """A non-metric record (comparability / verification / shape)."""
+    return {"metric": name, "kind": kind, "ok": ok,
+            "message": "" if ok else message}
+
+
+def evaluate_kernel(fresh: Dict, baseline: Dict,
+                    tolerance: float = DEFAULT_TOLERANCE) -> List[Dict]:
+    checks = [_metric_check("kernel events_per_sec",
+                            fresh["events_per_sec"],
+                            baseline["events_per_sec"], tolerance)]
+    same_shape = fresh.get("events_processed") == \
+        baseline.get("events_processed")
+    checks.append(_shape_check(
+        "kernel events_processed", same_shape,
+        "kernel workload shape changed: events_processed "
+        f"{fresh.get('events_processed')} vs "
+        f"{baseline.get('events_processed')}", kind="shape"))
+    return checks
+
+
+def evaluate_agg(fresh: Dict, baseline: Dict,
+                 tolerance: float = DEFAULT_TOLERANCE) -> List[Dict]:
+    checks: List[Dict] = []
     for key in ("scale", "nodes", "procs_per_node"):
-        if fresh.get(key) != baseline.get(key):
-            failures.append(
-                f"agg runs not comparable: {key} {fresh.get(key)} vs "
-                f"{baseline.get(key)}"
-            )
-    if failures:
-        return failures
+        checks.append(_shape_check(
+            f"agg config {key}", fresh.get(key) == baseline.get(key),
+            f"agg runs not comparable: {key} {fresh.get(key)} vs "
+            f"{baseline.get(key)}"))
+    if any(not c["ok"] for c in checks):
+        return [c for c in checks if not c["ok"]]
     for row in fresh.get("rows", []):
         if not row.get("verified", True):
-            failures.append(
+            checks.append(_shape_check(
+                f"agg verify {row['app']}@{row['aggregation']}", False,
                 f"agg row failed verification: {row['app']} "
-                f"aggregation={row['aggregation']}"
-            )
+                f"aggregation={row['aggregation']}", kind="verification"))
     for app, base_entry in sorted(baseline["speedups"].items()):
         fresh_entry = fresh["speedups"].get(app)
         if fresh_entry is None:
-            failures.append(f"agg app {app!r} missing from fresh run")
+            checks.append(_shape_check(
+                f"agg {app} present", False,
+                f"agg app {app!r} missing from fresh run", kind="shape"))
             continue
-        f, b = fresh_entry["sim_speedup"], base_entry["sim_speedup"]
-        if _worse(f, b, tolerance):
-            failures.append(_fmt(f"agg {app} sim_speedup", f, b))
-    return failures
+        checks.append(_metric_check(
+            f"agg {app} sim_speedup", fresh_entry["sim_speedup"],
+            base_entry["sim_speedup"], tolerance))
+    return checks
 
 
-def compare_serving(fresh: Dict, baseline: Dict,
-                    tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
-    failures: List[str] = []
+def evaluate_serving(fresh: Dict, baseline: Dict,
+                     tolerance: float = DEFAULT_TOLERANCE) -> List[Dict]:
+    checks: List[Dict] = []
     for key in _SERVING_CONFIG_KEYS:
-        if fresh.get(key) != baseline.get(key):
-            failures.append(
-                f"serving runs not comparable: {key} {fresh.get(key)} vs "
-                f"{baseline.get(key)}"
-            )
-    if failures:
-        return failures
+        checks.append(_shape_check(
+            f"serving config {key}", fresh.get(key) == baseline.get(key),
+            f"serving runs not comparable: {key} {fresh.get(key)} vs "
+            f"{baseline.get(key)}"))
+    if any(not c["ok"] for c in checks):
+        return [c for c in checks if not c["ok"]]
     base_cfgs = {c["queue_bound"]: c for c in baseline["configs"]}
     fresh_cfgs = {c["queue_bound"]: c for c in fresh["configs"]}
     if set(base_cfgs) != set(fresh_cfgs):
-        return [f"serving bounds differ: {sorted(map(str, fresh_cfgs))} vs "
-                f"{sorted(map(str, base_cfgs))}"]
+        return [_shape_check(
+            "serving bounds", False,
+            f"serving bounds differ: {sorted(map(str, fresh_cfgs))} vs "
+            f"{sorted(map(str, base_cfgs))}", kind="shape")]
     for bound, base_cfg in sorted(base_cfgs.items(), key=lambda kv: str(kv[0])):
         fresh_cfg = fresh_cfgs[bound]
         label = "off" if bound is None else bound
-        f, b = fresh_cfg["ops_per_sim_sec"], base_cfg["ops_per_sim_sec"]
-        if _worse(f, b, tolerance):
-            failures.append(_fmt(f"serving[{label}] ops_per_sim_sec", f, b))
-        f, b = fresh_cfg["latency"]["p99"], base_cfg["latency"]["p99"]
-        if _worse(f, b, tolerance, higher_is_better=False):
-            failures.append(_fmt(f"serving[{label}] p99", f, b))
+        checks.append(_metric_check(
+            f"serving[{label}] ops_per_sim_sec",
+            fresh_cfg["ops_per_sim_sec"], base_cfg["ops_per_sim_sec"],
+            tolerance))
+        checks.append(_metric_check(
+            f"serving[{label}] p99", fresh_cfg["latency"]["p99"],
+            base_cfg["latency"]["p99"], tolerance,
+            higher_is_better=False))
     base_cliff = baseline.get("cliff")
     fresh_cliff = fresh.get("cliff")
     if base_cliff and fresh_cliff:
-        f, b = fresh_cliff["p99_ratio"], base_cliff["p99_ratio"]
-        if _worse(f, b, tolerance):
-            failures.append(_fmt("serving cliff p99_ratio", f, b))
-    return failures
+        checks.append(_metric_check(
+            "serving cliff p99_ratio", fresh_cliff["p99_ratio"],
+            base_cliff["p99_ratio"], tolerance))
+    return checks
 
 
-def compare_async(fresh: Dict, baseline: Dict,
-                  tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
-    failures: List[str] = []
+def evaluate_async(fresh: Dict, baseline: Dict,
+                   tolerance: float = DEFAULT_TOLERANCE) -> List[Dict]:
+    checks: List[Dict] = []
     for key in ("scale", "nodes", "procs_per_node", "sim_only"):
-        if fresh.get(key) != baseline.get(key):
-            failures.append(
-                f"async runs not comparable: {key} {fresh.get(key)} vs "
-                f"{baseline.get(key)}"
-            )
-    if failures:
-        return failures
+        checks.append(_shape_check(
+            f"async config {key}", fresh.get(key) == baseline.get(key),
+            f"async runs not comparable: {key} {fresh.get(key)} vs "
+            f"{baseline.get(key)}"))
+    if any(not c["ok"] for c in checks):
+        return [c for c in checks if not c["ok"]]
     digests = set()
     for row in fresh.get("rows", []):
         if not row.get("verified", True):
-            failures.append(
+            checks.append(_shape_check(
+                f"async verify {row['mode']}@{row['aggregation']}", False,
                 f"async row failed verification: {row['mode']} "
-                f"aggregation={row['aggregation']}"
-            )
+                f"aggregation={row['aggregation']}", kind="verification"))
         digests.add(row.get("digest"))
-    if len(digests) > 1:
-        failures.append(
-            f"async digests diverged across modes: {sorted(digests)}"
-        )
+    checks.append(_shape_check(
+        "async digest parity", len(digests) <= 1,
+        f"async digests diverged across modes: {sorted(digests)}",
+        kind="verification"))
     f_sum, b_sum = fresh.get("summary", {}), baseline.get("summary", {})
     metric = "sim" if baseline.get("sim_only") else "wall"
     key = f"async_{metric}_speedup"
     f, b = f_sum.get(key), b_sum.get(key)
     if f is None:
-        failures.append(f"async summary missing {key!r}")
-    elif b and _worse(f, b, tolerance):
-        failures.append(_fmt(f"async {key}", f, b))
+        checks.append(_shape_check(f"async {key}", False,
+                                   f"async summary missing {key!r}",
+                                   kind="shape"))
+    elif b:
+        checks.append(_metric_check(f"async {key}", f, b, tolerance))
     f, b = f_sum.get("queue_wait_p99_async"), b_sum.get("queue_wait_p99_async")
-    if f is not None and b and _worse(f, b, tolerance,
-                                      higher_is_better=False):
-        failures.append(_fmt("async queue_wait_p99", f, b))
+    if f is not None and b:
+        checks.append(_metric_check("async queue_wait_p99", f, b,
+                                    tolerance, higher_is_better=False))
     f, b = f_sum.get("auto_vs_best_static"), b_sum.get("auto_vs_best_static")
-    if f is not None and b and _worse(f, b, tolerance,
-                                      higher_is_better=False):
-        failures.append(_fmt("async auto_vs_best_static", f, b))
-    return failures
+    if f is not None and b:
+        checks.append(_metric_check("async auto_vs_best_static", f, b,
+                                    tolerance, higher_is_better=False))
+    return checks
 
+
+def _failures(checks: List[Dict]) -> List[str]:
+    return [c["message"] for c in checks if not c["ok"]]
+
+
+def compare_kernel(fresh: Dict, baseline: Dict,
+                   tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    return _failures(evaluate_kernel(fresh, baseline, tolerance))
+
+
+def compare_agg(fresh: Dict, baseline: Dict,
+                tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    return _failures(evaluate_agg(fresh, baseline, tolerance))
+
+
+def compare_serving(fresh: Dict, baseline: Dict,
+                    tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    return _failures(evaluate_serving(fresh, baseline, tolerance))
+
+
+def compare_async(fresh: Dict, baseline: Dict,
+                  tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    return _failures(evaluate_async(fresh, baseline, tolerance))
+
+
+_EVALUATORS = {
+    "kernel": evaluate_kernel,
+    "agg": evaluate_agg,
+    "serving": evaluate_serving,
+    "async": evaluate_async,
+}
 
 _COMPARATORS = {
     "kernel": compare_kernel,
@@ -189,6 +259,38 @@ _COMPARATORS = {
     "serving": compare_serving,
     "async": compare_async,
 }
+
+
+def _forensics(baseline_path: str, fresh_path: str,
+               out_prefix: Optional[str]) -> Optional[str]:
+    """Diff baseline vs fresh via ``repro.obs.diff``; returns markdown.
+
+    The gate runs as a plain script (often without PYTHONPATH=src), so
+    the import is defensive: src/ is appended to ``sys.path`` when the
+    package isn't already importable, and any failure degrades to None
+    rather than masking the gate's exit code.
+    """
+    try:
+        try:
+            from repro.obs.diff import diff_paths, render_diff, \
+                write_diff_json
+        except ImportError:
+            src = os.path.join(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__))), "src")
+            if src not in sys.path:
+                sys.path.insert(0, src)
+            from repro.obs.diff import diff_paths, render_diff, \
+                write_diff_json
+        diff = diff_paths(baseline_path, fresh_path)
+        report = render_diff(diff)
+        if out_prefix:
+            write_diff_json(diff, f"{out_prefix}.json")
+            with open(f"{out_prefix}.md", "w", encoding="utf-8") as fh:
+                fh.write(report)
+        return report
+    except Exception as exc:  # never let forensics break the gate
+        print(f"forensics unavailable: {exc}", file=sys.stderr)
+        return None
 
 
 def main(argv: List[str] = None) -> int:
@@ -203,14 +305,41 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed fractional regression (default 0.15; "
                              "widen for wall-clock metrics on noisy runners)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the machine-readable verdict (per-check "
+                             "pass/fail with fresh/base/tolerance)")
+    parser.add_argument("--forensics-out", default=None, metavar="PREFIX",
+                        help="on failure, write the run-forensics report as "
+                             "PREFIX.md + PREFIX.json")
+    parser.add_argument("--no-forensics", action="store_true",
+                        help="skip the automatic baseline-vs-fresh diff on "
+                             "failure")
     args = parser.parse_args(argv)
     with open(args.fresh, encoding="utf-8") as fh:
         fresh = json.load(fh)
     with open(args.baseline, encoding="utf-8") as fh:
         baseline = json.load(fh)
-    failures = _COMPARATORS[args.kind](fresh, baseline, args.tolerance)
+    checks = _EVALUATORS[args.kind](fresh, baseline, args.tolerance)
+    failures = _failures(checks)
+    if args.json:
+        verdict = {
+            "kind": args.kind,
+            "fresh": args.fresh,
+            "baseline": args.baseline,
+            "tolerance": args.tolerance,
+            "ok": not failures,
+            "checks": checks,
+            "failures": failures,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(verdict, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     for failure in failures:
         print(f"REGRESSION: {failure}", file=sys.stderr)
+    if failures and not args.no_forensics:
+        report = _forensics(args.baseline, args.fresh, args.forensics_out)
+        if report:
+            print(report)
     if not failures:
         print(f"{args.kind}: no regression beyond {args.tolerance:.0%} "
               f"({args.fresh} vs {args.baseline})")

@@ -2,9 +2,11 @@
 
 Unlike the figure benches, this one measures *wall clock*, not simulated
 seconds: how many DES events the kernel retires per second on the
-reference workload (100 procs x 2000 timeouts).  The result is written to
-``BENCH_kernel.json`` at the repo root so the perf trajectory is tracked
-from PR to PR.
+reference workload (100 procs x 2000 timeouts).  With ``EMIT_BENCH=1``
+in the environment the result is written to ``BENCH_kernel.json`` at the
+repo root so the perf trajectory is tracked from PR to PR; without it
+the committed baseline is left untouched (wall numbers are
+machine-specific, and unconditional rewrites dirtied unrelated PRs).
 
 The assertion threshold is deliberately generous (CI machines vary); the
 real number for this tree is recorded in docs/PERFORMANCE.md.
@@ -12,6 +14,7 @@ real number for this tree is recorded in docs/PERFORMANCE.md.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -36,11 +39,14 @@ def test_kernel_events_per_sec(benchmark, report):
     rep = benchmark.pedantic(
         kernel_events_per_sec, rounds=1, iterations=1, warmup_rounds=0
     )
-    emit_bench_json(rep, str(REPO_ROOT / "BENCH_kernel.json"))
+    emitted = ""
+    if os.environ.get("EMIT_BENCH"):
+        emit_bench_json(rep, str(REPO_ROOT / "BENCH_kernel.json"))
+        emitted = "\n  -> BENCH_kernel.json"
     rows = "\n".join(f"  {k:<28} {v}" for k, v in rep.rows())
     report(
         "Kernel microbenchmark — events/s on 100 procs x 2000 timeouts\n"
-        f"{rows}\n  -> BENCH_kernel.json"
+        f"{rows}{emitted}"
     )
     # Workload shape is exact and deterministic even though wall clock is not:
     # 100 starts + 200,000 timeouts + 100 process-completion events.

@@ -96,6 +96,81 @@ def _suffixed(path: str, suffix: str) -> str:
     return f"{path}_{suffix}"
 
 
+class _ProfileRun:
+    """CLI glue for ``--profile``: wrap the bench run, then emit reports.
+
+    Inactive unless one of the profile flags was passed, in which case
+    the wrapped block runs under :class:`repro.obs.WallProfiler`
+    (cProfile underneath — the simulation code itself is untouched, so
+    simulated results are identical either way).
+    """
+
+    def __init__(self, args, command: str):
+        self.command = command
+        self.top = getattr(args, "profile_top", 25)
+        self.out = getattr(args, "profile_out", None)
+        self.folded = getattr(args, "profile_folded", None)
+        self.active = bool(getattr(args, "profile", False) or self.out
+                           or self.folded)
+        self._profiler = None
+        self._ctx = None
+
+    def __enter__(self):
+        if self.active:
+            from repro.obs import WallProfiler
+
+            self._profiler = WallProfiler()
+            self._ctx = self._profiler.profile()
+            self._ctx.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._ctx is not None:
+            self._ctx.__exit__(*exc)
+
+    def scope(self, name: str):
+        """Named wall phase inside the profiled block (no-op when off)."""
+        if self._profiler is None:
+            import contextlib
+
+            return contextlib.nullcontext()
+        return self._profiler.scope(name)
+
+    def emit(self) -> None:
+        """Print the profile table and write any requested outputs."""
+        if not self.active:
+            return
+        from repro.obs import render_profile, write_folded, write_profile_json
+
+        payload = self._profiler.report(top_n=self.top, command=self.command)
+        print(render_profile(payload, top_n=min(self.top, 15)))
+        if self.out:
+            print(f"wrote {write_profile_json(payload, self.out)}")
+        if self.folded:
+            n = write_folded(payload, self.folded)
+            print(f"wrote {self.folded} ({n} folded stacks)")
+
+
+def _add_profile_args(parser, default_out: str) -> None:
+    """The shared ``--profile`` flag family on every bench command."""
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the bench run's wall time (cProfile; "
+                             "simulated results are unchanged) and print "
+                             "per-subsystem shares + top functions")
+    parser.add_argument("--profile-out", nargs="?", const=default_out,
+                        default=None, metavar="PATH",
+                        help="write the wall-profile JSON (implies "
+                             f"--profile; default {default_out})")
+    parser.add_argument("--profile-folded", nargs="?",
+                        const=default_out.replace(".json", ".folded"),
+                        default=None, metavar="PATH",
+                        help="write folded stacks for flame-graph tools "
+                             "(implies --profile)")
+    parser.add_argument("--profile-top", type=int, default=25,
+                        help="functions kept in the profile report "
+                             "(default 25)")
+
+
 def _export_trace(tracer, prefix: str, pid_base: int = 0) -> None:
     """Write one tracer's spans as JSON-lines + Chrome trace."""
     from repro.obs import write_chrome_trace, write_span_jsonl
@@ -285,22 +360,25 @@ def _cmd_kernelbench(args) -> int:
         pooling=not args.no_pooling,
         scheduler=args.scheduler,
     )
-    if args.trace or args.metrics_out:
-        rep, tracer, registry = traced_kernel_bench(
-            repeats=args.repeats, **kwargs
-        )
-    else:
-        rep = kernel_events_per_sec(repeats=args.repeats, **kwargs)
+    prof = _ProfileRun(args, "kernelbench")
+    with prof, prof.scope("kernelbench.run"):
+        if args.trace or args.metrics_out:
+            rep, tracer, registry = traced_kernel_bench(
+                repeats=args.repeats, **kwargs
+            )
+        else:
+            rep = kernel_events_per_sec(repeats=args.repeats, **kwargs)
     print(render_table(
         "DES kernel throughput (wall clock; best of "
         f"{args.repeats} runs)",
         ["metric", "value"], rep.rows(),
     ))
-    # Always rewrite the JSON with the run just reported (unless told not
-    # to): a committed BENCH_kernel.json that disagrees with the printed
-    # table is exactly the drift this guards against.
-    if not args.no_emit:
+    # Emission is opt-in: the committed BENCH_kernel.json carries the
+    # reference machine's wall numbers, and every casual run rewriting it
+    # dirtied unrelated PRs.  Pass --emit to update it deliberately.
+    if args.emit and not args.no_emit:
         print(f"wrote {emit_bench_json(rep, args.emit)}")
+    prof.emit()
     if args.trace:
         _export_trace(tracer, args.trace)
     if args.metrics_out:
@@ -315,19 +393,21 @@ def _cmd_aggbench(args) -> int:
     from repro.harness.aggbench import emit_agg_json, run_agg_bench
 
     collector = [] if (args.trace or args.metrics_out) else None
-    report = run_agg_bench(
-        scale=args.scale,
-        nodes=args.nodes,
-        procs_per_node=args.procs,
-        sweep=args.sweep,
-        apps=args.apps,
-        repeats=args.repeats,
-        sim_only=args.sim_only,
-        trace=bool(args.trace),
-        collector=collector,
-        batch_charge=args.batch_charge,
-        container_sim_only=args.container_sim_only,
-    )
+    prof = _ProfileRun(args, "aggbench")
+    with prof, prof.scope("aggbench.run"):
+        report = run_agg_bench(
+            scale=args.scale,
+            nodes=args.nodes,
+            procs_per_node=args.procs,
+            sweep=args.sweep,
+            apps=args.apps,
+            repeats=args.repeats,
+            sim_only=args.sim_only,
+            trace=bool(args.trace),
+            collector=collector,
+            batch_charge=args.batch_charge,
+            container_sim_only=args.container_sim_only,
+        )
     print(render_table(
         f"Aggregation sweep (scale={args.scale}, "
         f"{args.nodes}x{args.procs} ranks)",
@@ -342,6 +422,7 @@ def _cmd_aggbench(args) -> int:
               f"(buffer={entry['aggregation']})")
     if args.emit:
         print(f"wrote {emit_agg_json(report, args.emit)}")
+    prof.emit()
     if args.trace and collector:
         from repro.obs import tracer_of
 
@@ -384,16 +465,18 @@ def _cmd_asyncbench(args) -> int:
     if args.flight_recorder:
         flight = {"interval": args.flight_interval,
                   "maxlen": args.flight_maxlen}
-    report = run_async_bench(
-        scale=args.scale,
-        nodes=args.nodes,
-        procs_per_node=args.procs,
-        repeats=args.repeats,
-        sim_only=args.sim_only,
-        collector=collector,
-        flight=flight,
-        flight_sink=flight_sink,
-    )
+    prof = _ProfileRun(args, "asyncbench")
+    with prof, prof.scope("asyncbench.run"):
+        report = run_async_bench(
+            scale=args.scale,
+            nodes=args.nodes,
+            procs_per_node=args.procs,
+            repeats=args.repeats,
+            sim_only=args.sim_only,
+            collector=collector,
+            flight=flight,
+            flight_sink=flight_sink,
+        )
     print(render_table(
         f"Async pipeline A/B (scale={args.scale}, "
         f"{args.nodes}x{args.procs} ranks)",
@@ -412,6 +495,7 @@ def _cmd_asyncbench(args) -> int:
               f"{summary['best_static_aggregation']}): {ratio:.2f}x")
     if args.emit:
         print(f"wrote {emit_async_json(report, args.emit)}")
+    prof.emit()
     if args.metrics_out and collector:
         import json
 
@@ -549,28 +633,31 @@ def _cmd_serving(args) -> int:
         monitors = {"interval": args.flight_interval,
                     "maxlen": args.flight_maxlen}
         monitors_sink = []
-    report = run_serving(
-        nodes=args.nodes,
-        procs_per_node=args.procs,
-        clients=args.clients,
-        tenants=args.tenants,
-        theta=args.theta,
-        keys=args.keys,
-        mix=tuple(args.mix),
-        queue_frac=args.queue_frac,
-        queue_home=args.queue_home,
-        rate=args.rate,
-        ops_per_client=args.ops_per_client,
-        seed=args.seed,
-        bounds=[None if b.lower() in ("off", "none") else int(b)
-                for b in args.bounds],
-        shed_retries=args.shed_retries,
-        retry_backoff=args.retry_backoff,
-        rpc_batch_size=args.batch,
-        monitors=monitors,
-        monitors_sink=monitors_sink,
-    )
+    prof = _ProfileRun(args, "serving")
+    with prof, prof.scope("serving.run"):
+        report = run_serving(
+            nodes=args.nodes,
+            procs_per_node=args.procs,
+            clients=args.clients,
+            tenants=args.tenants,
+            theta=args.theta,
+            keys=args.keys,
+            mix=tuple(args.mix),
+            queue_frac=args.queue_frac,
+            queue_home=args.queue_home,
+            rate=args.rate,
+            ops_per_client=args.ops_per_client,
+            seed=args.seed,
+            bounds=[None if b.lower() in ("off", "none") else int(b)
+                    for b in args.bounds],
+            shed_retries=args.shed_retries,
+            retry_backoff=args.retry_backoff,
+            rpc_batch_size=args.batch,
+            monitors=monitors,
+            monitors_sink=monitors_sink,
+        )
     print(render_serving(report))
+    prof.emit()
     if monitors_sink:
         for entry in monitors_sink:
             bound = entry["queue_bound"]
@@ -627,6 +714,19 @@ def _cmd_obs_report(args) -> int:
     if args.flight:
         with open(args.flight, encoding="utf-8") as fh:
             flight = json.load(fh)
+    compare = None
+    diff = None
+    if args.compare:
+        if flight is None:
+            print("obs-report: --compare needs --flight (run A)",
+                  file=sys.stderr)
+            return 2
+        from repro.obs import diff_runs
+
+        with open(args.compare, encoding="utf-8") as fh:
+            compare = json.load(fh)
+        diff = diff_runs(flight, compare, a_name=args.flight,
+                         b_name=args.compare)
     critpath = None
     if args.spans:
         critpath = critpath_analyze(load_spans(args.spans),
@@ -637,7 +737,8 @@ def _cmd_obs_report(args) -> int:
             metrics = json.load(fh)
 
     size = write_dashboard(args.out, flight=flight, critpath=critpath,
-                           metrics=metrics, title=args.title)
+                           metrics=metrics, compare=compare, diff=diff,
+                           title=args.title)
     errors = validate_dashboard(args.out)
     if errors:
         print(f"{args.out}: generated but INVALID "
@@ -677,10 +778,50 @@ def _cmd_obs_report(args) -> int:
     return 0
 
 
+def _cmd_obs_diff(args) -> int:
+    from repro.obs import diff_paths, load_artifact, render_diff, \
+        write_diff_json
+
+    diff = diff_paths(args.a, args.b, rel_threshold=args.threshold,
+                      top=args.top)
+    print(render_diff(diff, max_rows=args.max_rows))
+    if args.json:
+        print(f"wrote {write_diff_json(diff, args.json)}")
+    if args.md:
+        with open(args.md, "w", encoding="utf-8") as fh:
+            fh.write(render_diff(diff, max_rows=args.max_rows))
+        print(f"wrote {args.md}")
+    if args.html:
+        from repro.obs import validate_dashboard, write_dashboard
+
+        kind_a, doc_a = load_artifact(args.a)
+        kind_b, doc_b = load_artifact(args.b)
+        flight = doc_a if kind_a == "flight" else None
+        compare = doc_b if (flight is not None and kind_b == "flight") \
+            else None
+        size = write_dashboard(
+            args.html, flight=flight, compare=compare, diff=diff,
+            title=f"A/B: {args.a} vs {args.b}",
+        )
+        errors = validate_dashboard(args.html)
+        if errors:
+            print(f"{args.html}: generated but INVALID "
+                  f"({len(errors)} error(s))", file=sys.stderr)
+            for err in errors[:20]:
+                print(f"  {err}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.html} ({size} bytes, valid)")
+    if args.fail_on_significant and diff["significant"]:
+        print("obs-diff: significant differences found "
+              f"({diff['fingerprint']['label']})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_list(args) -> int:
     print("commands: fig1 fig5 fig6 fig7 sweep microbench kernelbench "
           "aggbench asyncbench chaos-soak trace telemetry serving "
-          "obs-report list")
+          "obs-report obs-diff list")
     print("full asserted reproduction: pytest benchmarks/ --benchmark-only -s")
     return 0
 
@@ -796,11 +937,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="far-lane event structure (identical event order; "
                          "only wall throughput differs)")
     pk.add_argument("--emit", nargs="?", const="BENCH_kernel.json",
-                    default="BENCH_kernel.json", metavar="PATH",
-                    help="JSON path, always rewritten with the reported run "
-                         "(default BENCH_kernel.json)")
+                    default=None, metavar="PATH",
+                    help="write the reported run as JSON (default "
+                         "BENCH_kernel.json).  Opt-in: wall throughput is "
+                         "machine-specific, so the committed baseline only "
+                         "changes when asked to")
     pk.add_argument("--no-emit", action="store_true",
-                    help="skip writing the JSON result")
+                    help="(deprecated no-op: emission is opt-in via --emit)")
     pk.add_argument("--trace", nargs="?", const="kernel_trace",
                     default=None, metavar="PREFIX",
                     help="record wall-clock spans per repeat; write "
@@ -808,6 +951,7 @@ def build_parser() -> argparse.ArgumentParser:
     pk.add_argument("--metrics-out", nargs="?", const="kernel_metrics.json",
                     default=None, metavar="PATH",
                     help="write the kernel-stat registry snapshot as JSON")
+    _add_profile_args(pk, "kernel_profile.json")
     pk.set_defaults(fn=_cmd_kernelbench)
 
     pa = sub.add_parser(
@@ -849,6 +993,7 @@ def build_parser() -> argparse.ArgumentParser:
     pa.add_argument("--metrics-out", nargs="?", const="agg_metrics.json",
                     default=None, metavar="PATH",
                     help="write per-run metrics-registry snapshots as JSON")
+    _add_profile_args(pa, "agg_profile.json")
     pa.set_defaults(fn=_cmd_aggbench)
 
     pb = sub.add_parser(
@@ -887,6 +1032,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "static threshold within 10%")
     pb.add_argument("--min-speedup", type=_positive_float, default=1.5,
                     help="wall-speedup floor for --check (default 1.5)")
+    _add_profile_args(pb, "async_profile.json")
     pb.set_defaults(fn=_cmd_asyncbench)
 
     pt = sub.add_parser(
@@ -990,6 +1136,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also fail unless unbounded p99 >= cliff-factor x "
                          "the bounded p99")
     pS.add_argument("--cliff-factor", type=_positive_float, default=3.0)
+    _add_profile_args(pS, "serving_profile.json")
     pS.set_defaults(fn=_cmd_serving)
 
     pO = sub.add_parser(
@@ -1010,10 +1157,45 @@ def build_parser() -> argparse.ArgumentParser:
     pO.add_argument("--title", default="Observability report")
     pO.add_argument("--top-traces", type=int, default=5,
                     help="slowest traces listed in the critical-path table")
+    pO.add_argument("--compare", default=None, metavar="PATH",
+                    help="second flight-recorder JSON: render the A/B "
+                         "comparison dashboard (overlaid sparklines + "
+                         "delta tables; --flight is run A)")
     pO.add_argument("--validate", default=None, metavar="PATH",
                     help="validate an existing dashboard instead of "
                          "rendering one (CI mode)")
     pO.set_defaults(fn=_cmd_obs_report)
+
+    pD = sub.add_parser(
+        "obs-diff",
+        help="differential run forensics: diff two runs (BENCH JSON, "
+             "flight JSON, span JSONL, metrics, profiles) and fingerprint "
+             "the dominant cause",
+    )
+    pD.add_argument("a", metavar="A", help="reference run (baseline)")
+    pD.add_argument("b", metavar="B", help="candidate run (fresh)")
+    pD.add_argument("--threshold", type=_positive_float, default=0.10,
+                    help="relative-change significance threshold "
+                         "(default 0.10; wall-clock metrics use at least "
+                         "0.50)")
+    pD.add_argument("--top", type=int, default=40,
+                    help="rows kept per delta section (default 40)")
+    pD.add_argument("--max-rows", type=int, default=20,
+                    help="rows printed per section in the report")
+    pD.add_argument("--json", nargs="?", const="run_diff.json",
+                    default=None, metavar="PATH",
+                    help="write the structured RunDiff as JSON")
+    pD.add_argument("--md", nargs="?", const="run_diff.md",
+                    default=None, metavar="PATH",
+                    help="write the markdown forensics report")
+    pD.add_argument("--html", nargs="?", const="run_diff.html",
+                    default=None, metavar="PATH",
+                    help="render the A/B dashboard (overlaid sparklines "
+                         "when both runs are flight recordings)")
+    pD.add_argument("--fail-on-significant", action="store_true",
+                    help="exit 1 when significant differences are found "
+                         "(CI self-diff mode)")
+    pD.set_defaults(fn=_cmd_obs_diff)
 
     pm = sub.add_parser("microbench", help="OSU-style fabric microbenchmarks")
     pm.add_argument("--provider", default="roce",

@@ -1,0 +1,285 @@
+"""Tests for the differential run-forensics engine (repro.obs.diff).
+
+Covers artifact-kind detection, the determinism pin (a same-seed
+self-diff reports nothing significant), the empty-vs-nonempty histogram
+"new signal" path (never a divide-by-zero), skew top-k churn, and the
+fingerprint classifier — including the end-to-end case the regression
+gate relies on: an aggregation A/B (512 vs 1) fingerprints as a
+coalescer-efficiency drop, not as a workload change.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.aggbench import emit_agg_json, run_agg_bench
+from repro.obs import (
+    FINGERPRINT_CODES,
+    detect_kind,
+    diff_paths,
+    diff_runs,
+    load_artifact,
+    render_diff,
+    write_diff_json,
+)
+
+# -- tiny synthetic artifacts -------------------------------------------------
+
+
+def _metrics_doc(lat_n, lat_scale=1.0, ops=5000.0):
+    """A registry-snapshot-shaped dict with one latency histogram."""
+    if lat_n:
+        lat = {"n": lat_n, "mean": 2.0 * lat_scale, "p50": 1.5 * lat_scale,
+               "p90": 3.0 * lat_scale, "p99": 6.0 * lat_scale,
+               "min": 0.5, "max": 9.0 * lat_scale}
+    else:
+        lat = {"n": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+               "min": 0.0, "max": 0.0}
+    return {"rpc/ops": ops, "rpc/latency": lat}
+
+
+def _critpath_doc(queue_share):
+    rest = 1.0 - queue_share
+    return {
+        "kind": "critpath",
+        "traces": 100,
+        "skipped": 0,
+        "overall": {"stages": [
+            {"stage": "server.queue", "share": queue_share},
+            {"stage": "server.execute", "share": rest * 0.5},
+            {"stage": "client.send", "share": rest * 0.5},
+        ]},
+        "slow": {"stages": []},
+    }
+
+
+def _profile_doc(marshal_share):
+    rest = 1.0 - marshal_share
+    return {
+        "kind": "wall_profile",
+        "wall_seconds": 2.0,
+        "profiled_seconds": 1.8,
+        "subsystems": [
+            {"subsystem": "marshal", "share": marshal_share,
+             "self_seconds": marshal_share, "calls": 10},
+            {"subsystem": "kernel", "share": rest,
+             "self_seconds": rest, "calls": 10},
+        ],
+        "functions": [],
+        "scopes": [],
+        "folded": [],
+    }
+
+
+def _skew_doc(partitions, keys, imbalance):
+    return {
+        "benchmark": "serving_zipf",
+        "skew": {
+            "imbalance": imbalance,
+            "top_partitions": [{"partition": p, "ops": 100 - i}
+                               for i, p in enumerate(partitions)],
+            "top_keys": [{"key": k, "count": 50 - i}
+                         for i, k in enumerate(keys)],
+        },
+    }
+
+
+class TestDetectKind:
+    def test_bench_discriminators(self):
+        assert detect_kind({"benchmark": "kernel_events_per_sec"}) == \
+            "bench_kernel"
+        assert detect_kind({"benchmark": "aggregation_sweep"}) == "bench_agg"
+        assert detect_kind({"benchmark": "serving_zipf"}) == "bench_serving"
+        assert detect_kind({"benchmark": "async_pipeline"}) == "bench_async"
+
+    def test_kind_field_artifacts(self):
+        assert detect_kind({"kind": "flight_recorder"}) == "flight"
+        assert detect_kind({"kind": "critpath"}) == "critpath"
+        assert detect_kind({"kind": "wall_profile"}) == "wall_profile"
+        assert detect_kind({"kind": "run_diff"}) == "run_diff"
+
+    def test_spans_list_and_wrapped(self):
+        recs = [{"span_id": 1, "name": "client.send", "dur": 0.5}]
+        assert detect_kind(recs) == "spans"
+        assert detect_kind({"records": recs}) == "spans"
+
+    def test_metrics_snapshot(self):
+        assert detect_kind(_metrics_doc(10)) == "metrics"
+
+    def test_unknown_never_raises(self):
+        assert detect_kind(None) == "unknown"
+        assert detect_kind([1, 2, 3]) == "unknown"
+        assert detect_kind({"stuff": object}) == "unknown"
+
+
+class TestSelfDiffIsQuiet:
+    """Determinism pin: identical artifacts -> nothing significant."""
+
+    def test_synthetic_metrics_self_diff(self):
+        diff = diff_runs(_metrics_doc(100), _metrics_doc(100))
+        assert diff["comparable"]
+        assert not diff["significant"]
+        assert diff["fingerprint"]["code"] == "no-significant-change"
+
+    @pytest.mark.parametrize("name", ["BENCH_serving.json", "BENCH_agg.json",
+                                      "BENCH_async.json"])
+    def test_committed_bench_self_diff(self, name):
+        import pathlib
+        path = pathlib.Path(__file__).resolve().parent.parent / name
+        if not path.exists():
+            pytest.skip(f"{name} not committed")
+        diff = diff_paths(str(path), str(path))
+        assert not diff["significant"], \
+            [r for r in diff["counters"]["rows"] if r["significant"]]
+        assert diff["fingerprint"]["code"] == "no-significant-change"
+
+
+class TestEmptyHistogramPaths:
+    """Satellite pin: empty-vs-nonempty is a *new signal*, never a /0."""
+
+    def test_empty_to_populated_is_new_signal(self):
+        diff = diff_runs(_metrics_doc(0), _metrics_doc(100))
+        rows = {r["key"]: r for r in diff["quantiles"]["rows"]}
+        row = rows["rpc/latency"]
+        assert row["status"] == "new_signal"
+        assert row["significant"]
+        assert diff["significant"]
+        # the tail rule treats an appearing latency histogram as tail growth
+        assert diff["fingerprint"]["code"] == "latency-tail-grew"
+
+    def test_populated_to_empty_is_gone(self):
+        diff = diff_runs(_metrics_doc(100), _metrics_doc(0))
+        row = {r["key"]: r for r in diff["quantiles"]["rows"]}["rpc/latency"]
+        assert row["status"] == "gone"
+        assert row["significant"]
+
+    def test_both_empty_is_silent(self):
+        diff = diff_runs(_metrics_doc(0), _metrics_doc(0))
+        assert diff["quantiles"]["rows"] == []
+        assert not diff["significant"]
+
+    def test_zero_quantile_within_populated_group_is_new_signal(self):
+        a, b = _metrics_doc(100), _metrics_doc(100)
+        a["rpc/latency"]["p99"] = 0.0
+        b["rpc/latency"]["p99"] = 4.0
+        diff = diff_runs(a, b)
+        shift = diff["quantiles"]["rows"][0]["shifts"]["p99"]
+        assert shift["status"] == "new_signal"
+        assert shift["rel"] is None
+        assert shift["significant"]
+
+
+class TestFingerprints:
+    def test_queue_wait_growth_from_critpath(self):
+        diff = diff_runs(_critpath_doc(0.10), _critpath_doc(0.45))
+        assert diff["critpath"]["significant"]
+        assert diff["fingerprint"]["code"] == "server-queue-wait-grew"
+        assert "server.queue" in diff["fingerprint"]["evidence"]
+
+    def test_marshal_growth_from_wall_profile(self):
+        diff = diff_runs(_profile_doc(0.15), _profile_doc(0.45))
+        assert diff["profile"]["significant"]
+        assert diff["fingerprint"]["code"] == "marshal-overhead-grew"
+
+    def test_hot_set_churn(self):
+        a = _skew_doc(["p0", "p1", "p2"], ["k0", "k1"], 1.2)
+        b = _skew_doc(["p7", "p8", "p9"], ["k7", "k8"], 1.3)
+        diff = diff_runs(a, b)
+        assert diff["skew"]["significant"]
+        assert diff["skew"]["partitions"]["jaccard"] == 0.0
+        assert diff["fingerprint"]["code"] == "hot-set-churned"
+
+    def test_workload_shape_trumps_everything(self):
+        a = {"benchmark": "serving_zipf", "nodes": 4, "ops_per_sim_sec": 100.0}
+        b = {"benchmark": "serving_zipf", "nodes": 8, "ops_per_sim_sec": 50.0}
+        diff = diff_runs(a, b)
+        assert diff["fingerprint"]["code"] == "workload-shape-changed"
+        assert "nodes" in diff["fingerprint"]["evidence"]
+
+    def test_knob_change_does_not_read_as_workload_change(self):
+        a = {"benchmark": "serving_zipf", "rpc_batch_size": 8,
+             "ops_per_sim_sec": 100.0}
+        b = {"benchmark": "serving_zipf", "rpc_batch_size": 1,
+             "ops_per_sim_sec": 60.0}
+        diff = diff_runs(a, b)
+        knobs = {c["key"]: c for c in diff["config_changes"]}
+        assert knobs["rpc_batch_size"]["knob"]
+        assert diff["fingerprint"]["code"] != "workload-shape-changed"
+
+    def test_all_codes_have_labels(self):
+        assert "no-significant-change" in FINGERPRINT_CODES
+        assert all(isinstance(v, str) and v for v in
+                   FINGERPRINT_CODES.values())
+
+
+class TestAggRegressionEndToEnd:
+    """The gate's scenario: aggregation 512 vs 1 names the coalescer."""
+
+    @pytest.fixture(scope="class")
+    def agg_diff(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("aggdiff")
+        base = run_agg_bench(scale=0.25, sweep=[0, 512], apps=["kmer"],
+                             repeats=1, sim_only=True)
+        worse = run_agg_bench(scale=0.25, sweep=[0, 1], apps=["kmer"],
+                              repeats=1, sim_only=True)
+        a, b = tmp / "A.json", tmp / "B.json"
+        emit_agg_json(base, str(a))
+        emit_agg_json(worse, str(b))
+        return diff_paths(str(a), str(b))
+
+    def test_fingerprints_coalesce_efficiency(self, agg_diff):
+        assert agg_diff["significant"]
+        assert agg_diff["fingerprint"]["code"] == "coalesce-efficiency-dropped"
+
+    def test_sweep_listed_as_knob_not_workload(self, agg_diff):
+        changes = {c["key"]: c for c in agg_diff["config_changes"]}
+        sweep_changes = [c for k, c in changes.items() if "sweep" in k]
+        assert sweep_changes and all(c["knob"] for c in sweep_changes)
+        assert all(c["knob"] for c in agg_diff["config_changes"])
+
+    def test_render_carries_the_fingerprint(self, agg_diff):
+        text = render_diff(agg_diff)
+        assert "coalescer flush efficiency dropped" in text
+        assert "### Counter deltas" in text
+
+
+class TestPlumbing:
+    def test_cross_kind_diff_is_not_comparable(self):
+        diff = diff_runs(_critpath_doc(0.2), _profile_doc(0.2))
+        assert not diff["comparable"]
+        assert diff["critpath"] is None and diff["profile"] is None
+
+    def test_load_artifact_jsonl_parses_as_spans(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        recs = [{"trace_id": 1, "span_id": i, "parent_id": None,
+                 "name": "client.send", "node": 0, "start": 0.0,
+                 "end": 0.5, "dur": 0.5} for i in (1, 2)]
+        path.write_text("\n".join(json.dumps(r) for r in recs) + "\n")
+        kind, doc = load_artifact(str(path))
+        assert kind == "spans"
+        assert len(doc["records"]) == 2
+        # span-log self-diff is quiet too
+        diff = diff_runs(doc, doc)
+        assert not diff["significant"]
+
+    def test_write_diff_json_round_trips(self, tmp_path):
+        diff = diff_runs(_metrics_doc(0), _metrics_doc(100))
+        out = tmp_path / "d.json"
+        write_diff_json(diff, str(out))
+        loaded = json.loads(out.read_text())
+        assert detect_kind(loaded) == "run_diff"
+        assert loaded["fingerprint"]["code"] == diff["fingerprint"]["code"]
+
+    def test_noisy_wall_metrics_need_a_wider_move(self):
+        a = {"benchmark": "kernel_events_per_sec", "wall_seconds": 1.0}
+        b = {"benchmark": "kernel_events_per_sec", "wall_seconds": 1.3}
+        diff = diff_runs(a, b)
+        rows = {r["key"]: r for r in diff["counters"]["rows"]}
+        assert rows["wall_seconds"]["noisy"]
+        assert not rows["wall_seconds"]["significant"]
+        b["wall_seconds"] = 2.0  # +100% clears the noisy threshold
+        diff = diff_runs(a, b)
+        rows = {r["key"]: r for r in diff["counters"]["rows"]}
+        assert rows["wall_seconds"]["significant"]

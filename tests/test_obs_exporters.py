@@ -1,0 +1,154 @@
+"""Round-trip tests for the span/trace exporters (repro.obs.exporters).
+
+The span JSON-lines log is the CI determinism leg's diffable artifact,
+so re-exporting a loaded log must be byte-stable.  The Chrome trace path
+must survive attrs containing quotes, backslashes and non-ASCII text,
+and both writers must handle the empty-trace edge cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    Span,
+    Tracer,
+    chrome_trace,
+    span_record,
+    validate_chrome_trace,
+    validate_span_log,
+    write_chrome_trace,
+    write_span_jsonl,
+)
+
+
+def _make_spans():
+    """A small finished trace: one root RPC with two child stages."""
+    clock_box = [0.0]
+    tracer = Tracer(clock=lambda: clock_box[0])
+    root = tracer.begin("rpc.put", node=0, attrs={"op": "put", "bytes": 64})
+    clock_box[0] = 0.25
+    send = tracer.begin("client.send", parent=root, node=0)
+    clock_box[0] = 1.0
+    tracer.finish(send)
+    wait = tracer.begin("server.wait", parent=root, node=1)
+    clock_box[0] = 2.5
+    tracer.finish(wait)
+    tracer.finish(root)
+    return tracer.spans
+
+
+def _rebuild(record):
+    """Reconstruct a Span from one JSON-lines record."""
+    span = Span(record["trace_id"], record["span_id"], record["parent_id"],
+                record["name"], record["node"], record["start"],
+                attrs=record.get("attrs"))
+    span.end = record["end"]
+    return span
+
+
+class TestSpanJsonlRoundTrip:
+    def test_write_load_rewrite_is_byte_stable(self, tmp_path):
+        spans = _make_spans()
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        n = write_span_jsonl(spans, str(first))
+        assert n == len(spans)
+        assert validate_span_log(str(first)) == []
+        rebuilt = [_rebuild(json.loads(line))
+                   for line in first.read_text().splitlines()]
+        write_span_jsonl(rebuilt, str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_records_keep_stable_key_order(self):
+        rec = span_record(_make_spans()[0])
+        assert list(rec)[:8] == ["trace_id", "span_id", "parent_id", "name",
+                                 "node", "start", "end", "dur"]
+
+    def test_attrs_sorted_and_preserved(self, tmp_path):
+        spans = _make_spans()
+        path = tmp_path / "s.jsonl"
+        write_span_jsonl(spans, str(path))
+        root = json.loads(path.read_text().splitlines()[0])
+        assert list(root["attrs"]) == sorted(root["attrs"])
+        assert root["attrs"] == {"bytes": 64, "op": "put"}
+
+    def test_unfinished_spans_are_skipped(self, tmp_path):
+        tracer = Tracer(clock=lambda: 0.0)
+        open_span = tracer.begin("rpc.get", node=0)
+        assert not open_span.finished
+        path = tmp_path / "open.jsonl"
+        assert write_span_jsonl(tracer.spans, str(path)) == 0
+        assert path.read_text() == ""
+
+    def test_validator_flags_corrupt_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = span_record(_make_spans()[1])
+        bad_dur = dict(good, span_id=99, dur=good["dur"] + 1.0)
+        orphan = dict(good, span_id=98, parent_id=12345)
+        path.write_text("\n".join([
+            json.dumps(good), json.dumps(bad_dur), json.dumps(orphan),
+            "{not json",
+        ]) + "\n")
+        errors = validate_span_log(str(path))
+        assert any("dur" in e for e in errors)
+        assert any("parent_id 12345" in e for e in errors)
+        assert any("invalid JSON" in e for e in errors)
+
+
+class TestChromeTraceEscaping:
+    def _spicy_spans(self):
+        clock_box = [0.0]
+        tracer = Tracer(clock=lambda: clock_box[0])
+        span = tracer.begin("rpc.put", node=0, attrs={
+            "label": 'he said "hi" \\ then left',
+            "unicode": "naïve π — ключ",
+            "multiline": "line1\nline2\ttabbed",
+        })
+        clock_box[0] = 1.0
+        tracer.finish(span)
+        return tracer.spans
+
+    def test_attrs_survive_json_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(self._spicy_spans(), str(path))
+        assert validate_chrome_trace(str(path)) == []
+        doc = json.loads(path.read_bytes().decode("utf-8"))
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        args = events[0]["args"]
+        assert args["label"] == 'he said "hi" \\ then left'
+        assert args["unicode"] == "naïve π — ключ"
+        assert args["multiline"] == "line1\nline2\ttabbed"
+
+    def test_units_pids_and_metadata(self):
+        events = chrome_trace(_make_spans(), pid_base=100)
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["args"]["name"] for e in meta} == {"node0", "node1"}
+        assert {e["pid"] for e in complete} == {100, 101}
+        root = next(e for e in complete if e["name"] == "rpc.put")
+        assert root["cat"] == "rpc"
+        assert root["ts"] == 0.0 and root["dur"] == 2.5e6  # microseconds
+
+    def test_nodeless_span_gets_fallback_pid(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        span = tracer.begin("host.phase")
+        tracer.finish(span)
+        events = chrome_trace(tracer.spans)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta[0]["pid"] == 999
+        assert meta[0]["args"]["name"] == "node?"
+
+
+class TestEmptyTraces:
+    def test_empty_span_log(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert write_span_jsonl([], str(path)) == 0
+        assert validate_span_log(str(path)) == []
+
+    def test_empty_chrome_trace(self, tmp_path):
+        path = tmp_path / "empty.json"
+        assert write_chrome_trace([], str(path)) == 0
+        assert validate_chrome_trace(str(path)) == []
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"] == []

@@ -14,6 +14,7 @@ from benchmarks.check_regression import (
     compare_async,
     compare_kernel,
     compare_serving,
+    evaluate_serving,
     main,
 )
 
@@ -128,3 +129,72 @@ class TestRegressionsAreFlagged:
         moved["nodes"] = base["nodes"] * 2
         failures = compare_async(moved, base)
         assert failures and all("not comparable" in f for f in failures)
+
+
+class TestMachineReadableVerdict:
+    """--json writes per-check records; failures ship a forensics report."""
+
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_evaluate_emits_passing_records_too(self):
+        base = _load("BENCH_serving.json")
+        checks = evaluate_serving(base, base)
+        assert checks and all(c["ok"] for c in checks)
+        metric_checks = [c for c in checks if c["kind"] == "metric"]
+        assert metric_checks
+        for check in metric_checks:
+            assert {"metric", "fresh", "base", "tolerance",
+                    "higher_is_better"} <= set(check)
+
+    def test_json_verdict_on_pass(self, tmp_path):
+        base = _load("BENCH_serving.json")
+        src = self._write(tmp_path, "base.json", base)
+        out = tmp_path / "verdict.json"
+        rc = main(["--kind", "serving", "--fresh", str(src),
+                   "--baseline", str(src), "--json", str(out)])
+        assert rc == 0
+        verdict = json.loads(out.read_text())
+        assert verdict["ok"] is True
+        assert verdict["kind"] == "serving"
+        assert verdict["failures"] == []
+        assert verdict["checks"] and all(c["ok"] for c in verdict["checks"])
+
+    def test_json_verdict_and_forensics_on_failure(self, tmp_path, capsys):
+        base = _load("BENCH_serving.json")
+        worse = copy.deepcopy(base)
+        worse["configs"][0]["ops_per_sim_sec"] *= 0.5
+        base_path = self._write(tmp_path, "base.json", base)
+        fresh_path = self._write(tmp_path, "fresh.json", worse)
+        out = tmp_path / "verdict.json"
+        prefix = tmp_path / "forensics"
+        rc = main(["--kind", "serving", "--fresh", str(fresh_path),
+                   "--baseline", str(base_path), "--json", str(out),
+                   "--forensics-out", str(prefix)])
+        assert rc == 1
+        verdict = json.loads(out.read_text())
+        assert verdict["ok"] is False
+        assert verdict["failures"]
+        assert any(not c["ok"] for c in verdict["checks"])
+        # forensics artifacts land next to the prefix and name a cause
+        report = (tmp_path / "forensics.md").read_text()
+        assert "fingerprint" in report
+        diff = json.loads((tmp_path / "forensics.json").read_text())
+        assert diff["kind"] == "run_diff"
+        assert diff["significant"]
+        captured = capsys.readouterr()
+        assert "Run forensics" in captured.out
+        assert "REGRESSION" in captured.err
+
+    def test_no_forensics_flag_suppresses_the_report(self, tmp_path, capsys):
+        base = _load("BENCH_serving.json")
+        worse = copy.deepcopy(base)
+        worse["configs"][0]["ops_per_sim_sec"] *= 0.5
+        base_path = self._write(tmp_path, "base.json", base)
+        fresh_path = self._write(tmp_path, "fresh.json", worse)
+        rc = main(["--kind", "serving", "--fresh", str(fresh_path),
+                   "--baseline", str(base_path), "--no-forensics"])
+        assert rc == 1
+        assert "Run forensics" not in capsys.readouterr().out
